@@ -1,0 +1,45 @@
+"""Benchmark fixtures.
+
+Benchmarks regenerate each paper artifact against a reduced study world
+(the full-scale world is what ``python -m repro.experiments all`` uses).
+Heavy artifacts run one round via ``benchmark.pedantic``; micro-benchmarks
+of the analysis kernels run with normal statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import StudyConfig, build_study
+from repro.experiments.common import analyzed_campaign, coverage_reports
+from repro.platforms.campaign import CampaignConfig
+
+BENCH_STUDY_CONFIG = StudyConfig(
+    seed=7,
+    scale=0.15,
+    mlab_server_count=80,
+    speedtest_server_count=200,
+    clients_per_million=20.0,
+)
+
+BENCH_CAMPAIGN = CampaignConfig(seed=7, days=14, total_tests=8000)
+
+
+@pytest.fixture(scope="session")
+def bench_study():
+    return build_study(BENCH_STUDY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bench_campaign(bench_study):
+    return analyzed_campaign(bench_study, BENCH_CAMPAIGN)
+
+
+@pytest.fixture(scope="session")
+def bench_coverage(bench_study):
+    return coverage_reports(bench_study, alexa_count=150)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a heavy artifact exactly once under the benchmark clock."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+"""Bench abl-tomo: the tomography ablation (simplified vs full-path)."""
+
+from collections import defaultdict
+
+from benchmarks.conftest import run_once
+from repro.core.tomography import (
+    aggregate_path_observations,
+    binary_tomography,
+    simplified_as_tomography,
+)
+
+
+def test_bench_abl_simplified_tomography(benchmark, bench_study, bench_campaign):
+    tests_by_pair = defaultdict(list)
+    for record in bench_campaign.campaign.ndt_records:
+        pair = (bench_study.org_label(record.server_asn), record.gt_client_org)
+        tests_by_pair[pair].append(record)
+
+    result = run_once(
+        benchmark, simplified_as_tomography, dict(tests_by_pair), 0.5
+    )
+    assert result.pairs, "some aggregates must be classified"
+
+
+def test_bench_abl_binary_tomography(benchmark, bench_study, bench_campaign):
+    observations = []
+    for record in bench_campaign.campaign.ndt_records:
+        if not 20 <= record.local_hour <= 22:
+            continue
+        observations.append((record.gt_crossed_links, record.retx_rate > 0.015))
+
+    aggregated = aggregate_path_observations(observations, min_observations=3)
+    inferred = run_once(benchmark, binary_tomography, aggregated)
+    truth = bench_study.links.congested_link_ids()
+    # Boolean tomography is only identifiable up to links that appear on
+    # some good path; any inferred link must at least be *consistent* —
+    # absent from every good path — and most must be truly congested.
+    good_links = {l for links, bad in aggregated if not bad for l in links}
+    assert not (inferred & good_links), "exonerated links must never be blamed"
+    if inferred:
+        assert len(inferred & truth) / len(inferred) >= 0.5
+    observed_truth = {
+        l for l in truth if any(l in links for links, _bad in aggregated)
+    }
+    identifiable = observed_truth - good_links
+    if identifiable:
+        assert len(inferred & identifiable) >= max(1, len(identifiable) // 2)

@@ -1,0 +1,17 @@
+"""Bench tab1 + the world build itself (the substrate every figure rests on)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tab1_providers
+from repro.topology.generator import InternetConfig, generate_internet
+
+
+def test_bench_tab1_dataset(benchmark):
+    result = benchmark(tab1_providers.run)
+    assert len(result.rows) == 12
+
+
+def test_bench_world_generation(benchmark):
+    internet = run_once(
+        benchmark, generate_internet, InternetConfig(seed=7, n_stub=300)
+    )
+    assert internet.summary()["interconnects"] > 500

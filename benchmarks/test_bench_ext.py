@@ -1,0 +1,78 @@
+"""Bench the extension analyses: TSLP detection and congestion signatures."""
+
+from benchmarks.conftest import run_once
+from repro.core.signatures import FlowLimit, FlowRTTSignature, classify_flow
+from repro.measurement.tslp import TSLPProber, detect_level_shift
+from repro.platforms.ark import make_ark_vps
+
+
+def test_bench_ext_tslp(benchmark, bench_study):
+    internet = bench_study.internet
+    vp = make_ark_vps(internet)[0]
+    prober = TSLPProber(internet, bench_study.links, bench_study.forwarder, seed=7)
+    gtt = internet.as_named("GTT")
+    att = internet.as_named("ATT")
+    links = internet.fabric.links_between(gtt.asn, att.asn)
+    if not links:
+        import pytest
+
+        pytest.skip("no GTT-ATT adjacency at bench scale")
+
+    def regenerate():
+        return [
+            detect_level_shift(prober.probe_day(vp.asn, vp.city, link))
+            for link in links[:6]
+        ]
+
+    verdicts = run_once(benchmark, regenerate)
+    truths = [bench_study.links.params(l.link_id).congested for l in links[:6]]
+    agreement = sum(1 for v, t in zip(verdicts, truths) if v.congested == t)
+    assert agreement >= len(truths) - 1, "TSLP must track link state"
+
+
+def test_bench_ext_signatures(benchmark, bench_campaign):
+    records = bench_campaign.campaign.ndt_records
+
+    def regenerate():
+        baselines = {}
+        for record in records:
+            key = (record.server_id, record.client_ip)
+            baselines[key] = min(baselines.get(key, float("inf")), record.rtt_min_ms)
+        labels = []
+        for record in records:
+            signature = FlowRTTSignature(
+                baseline_rtt_ms=baselines[(record.server_id, record.client_ip)],
+                rtt_min_ms=record.rtt_min_ms,
+                rtt_max_ms=record.rtt_max_ms,
+            )
+            labels.append(classify_flow(signature))
+        return labels
+
+    labels = run_once(benchmark, regenerate)
+    assert len(labels) == len(records)
+    assert FlowLimit.SELF_INDUCED in labels
+
+
+def test_bench_ext_iplink(benchmark, bench_study, bench_campaign):
+    from repro.core.localization import localize_per_link
+
+    result = run_once(
+        benchmark,
+        localize_per_link,
+        bench_campaign.matched_pairs,
+        bench_campaign.mapit_result,
+    )
+    assert result.verdicts, "some interdomain links must accumulate tests"
+    # Per-link verdicts inherit two documented failure modes: boundary-
+    # shifted link identities (silent routers / third-party replies) and
+    # the cable evening dip tripping the threshold (§6.2 at finer grain).
+    # What must hold: at least one truly congested interface pair is
+    # named exactly, and no verdict rests on thin samples.
+    gt_pairs = {
+        bench_study.internet.fabric.interconnect(link_id).ip_pair()
+        for link_id in bench_study.links.congested_link_ids()
+    }
+    called = {v.link.ip_pair() for v in result.congested_links()}
+    if called:
+        assert called & gt_pairs, "no truly congested link was named"
+    assert all(v.test_count >= 50 for v in result.congested_links())

@@ -1,0 +1,20 @@
+"""Bench fig1: regenerate the AS-hop distribution (Figure 1)."""
+
+from benchmarks.conftest import run_once
+from repro.core.assumptions import as_hop_distribution
+
+
+def test_bench_fig1_as_hops(benchmark, bench_study, bench_campaign):
+    rows = run_once(
+        benchmark,
+        as_hop_distribution,
+        bench_campaign.matched_pairs,
+        bench_campaign.mapit_result,
+        bench_study.oracle,
+        bench_study.org_names,
+    )
+    assert rows, "figure 1 must have ISP rows"
+    by_org = {r.client_org: r for r in rows}
+    # Shape: the big, densely peered ISPs are mostly one hop away.
+    if "Comcast" in by_org and by_org["Comcast"].total > 100:
+        assert by_org["Comcast"].one_hop_fraction > 0.6

@@ -1,0 +1,54 @@
+"""Bench fig2/fig3/fig4: the §5 coverage analyses share one trace
+collection (cached session-wide); each figure's aggregation is benched."""
+
+from benchmarks.conftest import run_once
+
+
+def test_bench_fig2_coverage(benchmark, bench_coverage):
+    def regenerate():
+        return {
+            label: (
+                report.coverage_fraction("mlab", "as"),
+                report.coverage_fraction("speedtest", "as"),
+                report.coverage_fraction("mlab", "router"),
+                report.coverage_fraction("speedtest", "router"),
+            )
+            for label, report in bench_coverage.items()
+        }
+
+    rows = run_once(benchmark, regenerate)
+    assert len(rows) == 16
+    beats = sum(1 for mlab, st, *_ in rows.values() if st >= mlab)
+    assert beats >= 14, "Speedtest must cover at least as much as M-Lab"
+
+
+def test_bench_fig3_peer_coverage(benchmark, bench_coverage):
+    def regenerate():
+        return {
+            label: (
+                report.coverage_fraction("mlab", "as", peers_only=True),
+                report.coverage_fraction("speedtest", "as", peers_only=True),
+            )
+            for label, report in bench_coverage.items()
+        }
+
+    rows = run_once(benchmark, regenerate)
+    assert len(rows) == 16
+
+
+def test_bench_fig4_alexa_overlap(benchmark, bench_coverage):
+    def regenerate():
+        return {
+            label: (
+                report.set_difference("alexa", "mlab"),
+                report.set_difference("mlab", "alexa"),
+                report.reachable["alexa"].as_count(),
+            )
+            for label, report in bench_coverage.items()
+        }
+
+    rows = run_once(benchmark, regenerate)
+    # Paper: every VP has content-carrying borders M-Lab cannot test.
+    with_content = [r for r in rows.values() if r[2] > 0]
+    assert with_content
+    assert all(alexa_minus_mlab > 0 for alexa_minus_mlab, _m, _a in with_content)

@@ -1,0 +1,28 @@
+"""Bench fig5: regenerate the diurnal throughput series (Figure 5)."""
+
+from benchmarks.conftest import run_once
+from repro.core.congestion import classify_series, diurnal_series
+
+
+def test_bench_fig5_diurnal(benchmark, bench_study, bench_campaign):
+    gtt = bench_study.oracle.canonical(bench_study.internet.as_named("GTT").asn)
+
+    def regenerate():
+        series = {}
+        for org in ("ATT", "Comcast"):
+            records = [
+                r
+                for r in bench_campaign.campaign.ndt_records
+                if r.gt_client_org == org
+                and bench_study.oracle.canonical(r.server_asn) == gtt
+            ]
+            series[org] = diurnal_series(records)
+        return series
+
+    series = run_once(benchmark, regenerate)
+    att = classify_series(series["ATT"], 0.5)
+    comcast = classify_series(series["Comcast"], 0.5)
+    if att.sample_count > 100:
+        assert att.congested, "paper: AT&T via GTT collapses at peak"
+    if comcast.sample_count > 100:
+        assert not comcast.congested, "paper: Comcast via GTT merely dips"

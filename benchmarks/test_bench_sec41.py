@@ -1,0 +1,25 @@
+"""Bench sec41: NDT↔traceroute matching at realistic daemon load."""
+
+from benchmarks.conftest import run_once
+from repro.core.matching import match_ndt_to_traceroutes
+from repro.platforms.campaign import CampaignConfig
+
+HEAVY = CampaignConfig(seed=11, days=1, total_tests=9000, burst_prob=0.5)
+
+
+def test_bench_sec41_matching(benchmark, bench_study):
+    result = bench_study.run_campaign(HEAVY)
+
+    def regenerate():
+        return {
+            mode: match_ndt_to_traceroutes(
+                result.ndt_records, result.traceroute_records, mode=mode
+            )
+            for mode in ("after", "either")
+        }
+
+    reports = run_once(benchmark, regenerate)
+    after = reports["after"].matched_fraction
+    either = reports["either"].matched_fraction
+    assert 0.3 < after < 1.0, "daemon contention must lose some traces"
+    assert either >= after, "both-side window can only match more"

@@ -1,0 +1,38 @@
+"""Bench sec54: the temporal (2015 vs 2017) coverage comparison.
+
+The epoch worlds are reduced like the bench study; the regenerated shape
+is the coverage delta table.
+"""
+
+from benchmarks.conftest import BENCH_STUDY_CONFIG, run_once
+from dataclasses import replace
+
+from repro.core.pipeline import build_study
+from repro.experiments.common import coverage_reports
+
+
+def test_bench_sec54_temporal(benchmark, bench_study, bench_coverage):
+    study_2017 = build_study(
+        replace(BENCH_STUDY_CONFIG, epoch="2017", speedtest_server_count=280)
+    )
+
+    def regenerate():
+        reports_2017 = coverage_reports(study_2017, alexa_count=150)
+        deltas = {}
+        for label, r15 in bench_coverage.items():
+            r17 = reports_2017.get(label)
+            if r17 is None:
+                continue
+            deltas[label] = (
+                r17.coverage_fraction("mlab", "as") - r15.coverage_fraction("mlab", "as"),
+                r17.coverage_fraction("speedtest", "as")
+                - r15.coverage_fraction("speedtest", "as"),
+            )
+        return deltas
+
+    deltas = run_once(benchmark, regenerate)
+    assert len(deltas) == 16
+    mlab_nonincreasing = sum(1 for m, _s in deltas.values() if m <= 0.02)
+    assert mlab_nonincreasing >= 10, (
+        "paper: coverage does not improve though the fabric grows"
+    )

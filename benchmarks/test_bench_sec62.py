@@ -1,0 +1,28 @@
+"""Bench sec62: the congestion-threshold sensitivity sweep."""
+
+from collections import defaultdict
+
+from benchmarks.conftest import run_once
+from repro.core.congestion import diurnal_series, threshold_sweep
+
+
+def test_bench_sec62_thresholds(benchmark, bench_study, bench_campaign):
+    groups = defaultdict(list)
+    for record in bench_campaign.campaign.ndt_records:
+        source = bench_study.org_label(record.server_asn)
+        groups[f"{source}->{record.gt_client_org}"].append(record)
+    series = {
+        name: diurnal_series(records)
+        for name, records in groups.items()
+        if len(records) >= 150
+    }
+
+    def regenerate():
+        return threshold_sweep(series, thresholds=(0.1, 0.2, 0.3, 0.5, 0.7, 0.9))
+
+    rows = run_once(benchmark, regenerate)
+    counts = [row.congested_count for row in rows]
+    assert counts == sorted(counts, reverse=True), (
+        "lower thresholds can only sweep in more aggregates"
+    )
+    assert counts[0] > counts[-1], "the verdict set must actually churn"

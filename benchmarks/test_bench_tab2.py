@@ -1,0 +1,24 @@
+"""Bench tab2: regenerate the link-diversity table (Table 2)."""
+
+from benchmarks.conftest import run_once
+from repro.core.assumptions import link_diversity
+
+
+def test_bench_tab2_link_diversity(benchmark, bench_study, bench_campaign):
+    level3 = bench_study.oracle.canonical(bench_study.internet.as_named("Level3").asn)
+    reports = run_once(
+        benchmark,
+        link_diversity,
+        bench_campaign.matched_pairs,
+        bench_campaign.mapit_result,
+        bench_study.oracle,
+        level3,
+        "Level3",
+        bench_study.internet.rdns,
+        bench_study.org_names,
+    )
+    assert reports, "some ISP must show Level3 crossings"
+    # Shape: at least one ISP shows multiple IP-level links (Assumption 3
+    # fails), with a non-uniform test distribution.
+    multi = [r for r in reports.values() if r.total_links() > 1]
+    assert multi, "AS-level aggregation must hide multiple IP links"

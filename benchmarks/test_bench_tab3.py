@@ -1,0 +1,30 @@
+"""Bench tab3: regenerate the bdrmap border inventory (Table 3)."""
+
+from benchmarks.conftest import run_once
+from repro.inference.alias import AliasResolver
+from repro.inference.bdrmap import collect_bdrmap_traces, run_bdrmap
+from repro.platforms.ark import make_ark_vps
+from repro.topology.asgraph import Relationship
+
+
+def test_bench_tab3_bdrmap(benchmark, bench_study):
+    internet = bench_study.internet
+    vps = [v for v in make_ark_vps(internet) if v.label in ("COM-1", "ATT", "RCN")]
+    resolver = AliasResolver(internet, seed=7)
+
+    def regenerate():
+        rows = {}
+        for vp in vps:
+            traces = collect_bdrmap_traces(internet, vp, bench_study.traceroute_engine)
+            rows[vp.label] = run_bdrmap(
+                internet, vp, traces, bench_study.oracle, alias_resolver=resolver
+            )
+        return rows
+
+    rows = run_once(benchmark, regenerate)
+    assert rows["ATT"].as_level_count() > rows["RCN"].as_level_count(), (
+        "Table 3 ordering: AT&T has far more borders than RCN"
+    )
+    for result in rows.values():
+        assert result.router_level_count() >= result.as_level_count()
+        assert result.as_level_count(Relationship.PEER) > 0

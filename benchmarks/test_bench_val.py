@@ -1,0 +1,52 @@
+"""Bench val-mapit / val-bdrmap: inference accuracy regeneration."""
+
+from benchmarks.conftest import run_once
+from repro.inference.alias import AliasResolver
+from repro.inference.bdrmap import collect_bdrmap_traces, run_bdrmap
+from repro.inference.mapit import MapIt
+from repro.platforms.ark import make_ark_vps
+
+
+def test_bench_val_mapit(benchmark, bench_study, bench_campaign):
+    traces = [t.router_hop_ips() for _r, t in bench_campaign.matched_pairs]
+    mapit = MapIt(bench_study.oracle, bench_study.internet.graph)
+
+    result = run_once(benchmark, mapit.infer, traces)
+
+    internet = bench_study.internet
+    gt_as_pairs = set()
+    for _record, trace in bench_campaign.matched_pairs:
+        for link_id in trace.gt_crossed_links:
+            link = internet.fabric.interconnect(link_id)
+            if internet.orgs.are_siblings(link.a_asn, link.b_asn):
+                continue
+            a = internet.orgs.canonical_asn(link.a_asn)
+            b = internet.orgs.canonical_asn(link.b_asn)
+            gt_as_pairs.add((min(a, b), max(a, b)))
+    inferred = {l.as_pair() for l in result.links}
+    tp = len(gt_as_pairs & inferred)
+    assert tp / len(inferred) > 0.85, "MAP-IT AS-pair precision (paper: >0.90)"
+    assert tp / len(gt_as_pairs) > 0.75, "MAP-IT AS-pair recall"
+
+
+def test_bench_val_bdrmap(benchmark, bench_study):
+    internet = bench_study.internet
+    vp = next(v for v in make_ark_vps(internet) if v.label == "COM-1")
+    traces = collect_bdrmap_traces(internet, vp, bench_study.traceroute_engine)
+    resolver = AliasResolver(internet, seed=7)
+
+    result = run_once(
+        benchmark, run_bdrmap, internet, vp, traces, bench_study.oracle, resolver
+    )
+
+    vp_org = internet.orgs.canonical_asn(vp.asn)
+    truth = set()
+    for link in internet.interconnects_of_org(vp.asn):
+        for asn in (link.a_asn, link.b_asn):
+            canonical = internet.orgs.canonical_asn(asn)
+            if canonical != vp_org:
+                truth.add(canonical)
+    inferred = result.neighbor_asns()
+    tp = len(inferred & truth)
+    assert tp / len(inferred) > 0.75, "bdrmap precision (paper: >0.90)"
+    assert tp / len(truth) > 0.55, "bdrmap recall"

@@ -1,0 +1,97 @@
+"""Crowdsourcing-bias diagnosis and correction — §6.1 and §7 in practice.
+
+Shows, on one (transit network → access ISP) aggregate:
+
+1. the three bias diagnostics of §6.1 — time-of-day sample imbalance,
+   plan-variance share of throughput variance, and a bootstrap CI for the
+   thin off-peak bins;
+2. the Mann-Whitney significance test the original reports lacked;
+3. plan-tier stratification (§7), first on the raw aggregate, then on a
+   deliberately mix-biased subsample where naive analysis fabricates a
+   collapse that stratification removes.
+
+Run:  python examples/bias_correction.py
+"""
+
+from __future__ import annotations
+
+from repro.core import build_study, diurnal_series
+from repro.core.pipeline import StudyConfig
+from repro.platforms.campaign import CampaignConfig
+from repro.stats import (
+    bootstrap_mean_ci,
+    estimate_plan_tiers,
+    hour_sample_imbalance,
+    mann_whitney_u,
+    plan_variance_ratio,
+    stratify,
+)
+
+
+def main() -> None:
+    study = build_study(
+        StudyConfig(seed=7, scale=0.2, mlab_server_count=90, clients_per_million=25)
+    )
+    result = study.run_campaign(
+        CampaignConfig(seed=5, days=28, total_tests=9000, orgs=("Comcast",))
+    )
+    gtt = study.oracle.canonical(study.internet.as_named("GTT").asn)
+    records = [
+        r for r in result.ndt_records
+        if study.oracle.canonical(r.server_asn) == gtt
+    ]
+    print(f"aggregate: GTT -> Comcast, {len(records)} tests\n")
+
+    # --- §6.1 diagnostics --------------------------------------------------
+    series = diurnal_series(records)
+    imbalance = hour_sample_imbalance(series.counts())
+    plans = {c.ip: c.plan_rate_bps for c in study.population.all_clients()}
+    variance_share = plan_variance_ratio(
+        [r.download_mbps for r in records],
+        [plans[r.client_ip] / 1e6 for r in records],
+    )
+    print(f"time-of-day sample imbalance (CV of hourly counts): {imbalance:.2f}")
+    print(f"throughput variance explained by plan mix:          {variance_share:.0%}")
+
+    offpeak_4am = [r.download_mbps for r in records if 3 <= r.local_hour < 6]
+    if len(offpeak_4am) >= 5:
+        low, high = bootstrap_mean_ci(offpeak_4am, seed=1)
+        print(
+            f"3-6am mean throughput: n={len(offpeak_4am)}, "
+            f"95% CI [{low:.1f}, {high:.1f}] Mbps  <- the thin-bin problem"
+        )
+
+    # --- significance ------------------------------------------------------
+    peak = [r.download_mbps for r in records if 19 <= r.local_hour <= 22]
+    off = [r.download_mbps for r in records if 9 <= r.local_hour <= 16]
+    test = mann_whitney_u(peak, off)
+    print(
+        f"\nMann-Whitney (peak < off-peak): p = {test.p_value:.2e} "
+        f"({'significant' if test.significant() else 'not significant'})"
+    )
+    print(f"naive relative peak drop: {series.relative_peak_drop():.1%}")
+
+    # --- stratification ----------------------------------------------------
+    stratified = stratify(records)
+    print(f"stratified (fixed plan mix) drop: {stratified.utilization_drop():.1%}")
+    print("  -> the dip survives stratification: it is a path/medium effect,"
+          " not a sample-mix artifact")
+
+    tiers = estimate_plan_tiers(records)
+    median_tier = sorted(tiers.values())[len(tiers) // 2]
+    biased = [
+        r for r in records
+        if (18 <= r.local_hour <= 23) == (tiers[r.client_ip] < median_tier)
+    ]
+    if len(biased) > 100:
+        naive = diurnal_series(biased).relative_peak_drop()
+        corrected = stratify(biased).utilization_drop()
+        print(
+            f"\nmix-biased subsample (slow plans tested at night only): "
+            f"naive drop {naive:.1%} -> stratified {corrected:.1%}"
+        )
+        print("  -> a fabricated 'congestion' signal that stratification removes")
+
+
+if __name__ == "__main__":
+    main()

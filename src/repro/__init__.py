@@ -1,0 +1,31 @@
+"""repro — reproduction of "Challenges in Inferring Internet Congestion
+Using Throughput Measurements" (Sundaresan et al., ACM IMC 2017).
+
+The package layers, bottom to top:
+
+* :mod:`repro.util` — RNG discipline, IPv4 helpers, units;
+* :mod:`repro.topology` — the seeded synthetic Internet (ground truth);
+* :mod:`repro.routing` — valley-free BGP + router-level forwarding;
+* :mod:`repro.net` — diurnal load, link queue/loss models, TCP model;
+* :mod:`repro.measurement` — NDT, Paris traceroute, TSLP;
+* :mod:`repro.platforms` — clients, M-Lab, Speedtest, Ark, Alexa targets;
+* :mod:`repro.inference` — MAP-IT, bdrmap, alias resolution, AS-rank;
+* :mod:`repro.core` — the paper's analyses (matching, congestion,
+  tomography, assumptions, coverage, localization, signatures);
+* :mod:`repro.stats` — binning, bias metrics, significance, stratification;
+* :mod:`repro.experiments` — one module per paper table/figure;
+* :mod:`repro.reporting` / :mod:`repro.data` / :mod:`repro.cli` — reports,
+  dataset I/O, and the ``repro`` console command.
+
+Quickstart::
+
+    from repro.core import build_study
+    from repro.platforms.campaign import CampaignConfig
+
+    study = build_study()
+    result = study.run_campaign(CampaignConfig(total_tests=10_000))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,59 @@
+"""The paper's analysis machinery.
+
+* :mod:`matching` — pairing NDT tests with their Paris traceroutes (§4.1);
+* :mod:`congestion` — diurnal congestion detection over hourly series and
+  threshold sensitivity (§3.1, §6.2);
+* :mod:`tomography` — binary network tomography over full paths and the
+  simplified AS-level tomography of the M-Lab reports, with evaluation
+  against ground truth (§3);
+* :mod:`assumptions` — the §4 assumption checks: AS-hop distributions
+  (Assumption 2) and interconnect diversity per server/ISP pair
+  (Assumption 3), including the DNS-based parallel-link grouping;
+* :mod:`coverage` — §5 coverage analysis: which of an ISP's borders are
+  testable via a platform's servers, and the overlap with popular-content
+  paths;
+* :mod:`pipeline` — a convenience builder wiring the whole stack for
+  examples and experiments.
+"""
+
+from repro.core.assumptions import (
+    ASHopDistribution,
+    LinkDiversityReport,
+    as_hop_distribution,
+    link_diversity,
+)
+from repro.core.congestion import (
+    CongestionVerdict,
+    classify_series,
+    diurnal_series,
+    threshold_sweep,
+)
+from repro.core.coverage import CoverageReport, coverage_analysis
+from repro.core.matching import MatchReport, match_ndt_to_traceroutes
+from repro.core.pipeline import Study, StudyConfig, build_study
+from repro.core.tomography import (
+    ASTomographyResult,
+    binary_tomography,
+    simplified_as_tomography,
+)
+
+__all__ = [
+    "ASHopDistribution",
+    "ASTomographyResult",
+    "CongestionVerdict",
+    "CoverageReport",
+    "LinkDiversityReport",
+    "MatchReport",
+    "Study",
+    "StudyConfig",
+    "as_hop_distribution",
+    "binary_tomography",
+    "build_study",
+    "classify_series",
+    "coverage_analysis",
+    "diurnal_series",
+    "link_diversity",
+    "match_ndt_to_traceroutes",
+    "simplified_as_tomography",
+    "threshold_sweep",
+]

@@ -1,0 +1,245 @@
+"""Checks of the simplified-tomography assumptions (§4).
+
+* :func:`as_hop_distribution` — Assumption 2 (server and client ASes are
+  adjacent): per access ISP, the fraction of matched tests whose corrected
+  AS-level path from the M-Lab server to the client spans one, two, or
+  more organizations. This is Figure 1.
+* :func:`link_diversity` — Assumption 3 (one well-behaved interconnect per
+  AS pair): for one server, the set of inferred interdomain IP links its
+  tests toward each ISP actually crossed, the test count per link, and the
+  DNS-derived grouping that reveals parallel links and their metros. This
+  is Table 2 and the Cox/Dallas analysis.
+
+Only public artifacts are consumed: matched traceroutes, MAP-IT output,
+prefix/org data, and reverse DNS.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.inference.borders import OriginOracle
+from repro.inference.mapit import InferredLink, MapItResult
+from repro.measurement.records import NDTRecord, TracerouteRecord
+from repro.topology.dns import ReverseDNS, parse_interface_name
+
+
+@dataclass(frozen=True)
+class ASHopDistribution:
+    """Figure 1 row: AS-hop mix of one access ISP's matched tests."""
+
+    client_org: str
+    total: int
+    one_hop: int
+    two_hops: int
+    more_hops: int
+
+    @property
+    def one_hop_fraction(self) -> float:
+        return self.one_hop / self.total if self.total else 0.0
+
+    @property
+    def two_hop_fraction(self) -> float:
+        return self.two_hops / self.total if self.total else 0.0
+
+    @property
+    def more_fraction(self) -> float:
+        return self.more_hops / self.total if self.total else 0.0
+
+
+def as_hop_distribution(
+    matched_pairs: list[tuple[NDTRecord, TracerouteRecord]],
+    mapit_result: MapItResult,
+    oracle: OriginOracle,
+    org_names: dict[int, str],
+) -> list[ASHopDistribution]:
+    """Per client org, the 1 / 2 / 2+ AS-hop mix of matched tests.
+
+    The AS path is reconstructed from MAP-IT-corrected hop ownership
+    (sibling-collapsed, unknowns and IXP hops skipped); the client's own
+    org — looked up from the test's client address — terminates the path
+    whether or not the client answered the traceroute.
+    """
+    counters: dict[str, Counter[str]] = defaultdict(Counter)
+    for record, trace in matched_pairs:
+        client_asn = oracle.origin(record.client_ip)
+        if client_asn is None:
+            continue
+        client_org = org_names.get(client_asn, f"AS{client_asn}")
+        orgs = _collapsed_org_path(trace, mapit_result, oracle)
+        server_org = oracle.canonical(record.server_asn)
+        if not orgs or orgs[0] != server_org:
+            orgs.insert(0, server_org)
+        if orgs[-1] != client_asn:
+            orgs.append(client_asn)
+        hops = len(orgs) - 1
+        bucket = "1" if hops <= 1 else "2" if hops == 2 else "2+"
+        counters[client_org][bucket] += 1
+
+    rows = []
+    for client_org in sorted(counters):
+        counts = counters[client_org]
+        rows.append(
+            ASHopDistribution(
+                client_org=client_org,
+                total=sum(counts.values()),
+                one_hop=counts["1"],
+                two_hops=counts["2"],
+                more_hops=counts["2+"],
+            )
+        )
+    return rows
+
+
+def _collapsed_org_path(
+    trace: TracerouteRecord,
+    mapit_result: MapItResult,
+    oracle: OriginOracle,
+) -> list[int]:
+    """Org-canonical AS sequence of a trace, consecutive duplicates merged."""
+    orgs: list[int] = []
+    for ip in trace.router_hop_ips():
+        if ip is None or oracle.is_ixp(ip):
+            continue
+        owner = mapit_result.ownership.get(ip)
+        if owner is None:
+            owner = oracle.origin(ip)
+        if owner is None:
+            continue
+        if not orgs or orgs[-1] != owner:
+            orgs.append(owner)
+    return orgs
+
+
+# ---------------------------------------------------------------------------
+# Assumption 3: interconnect diversity (Table 2)
+
+
+@dataclass(frozen=True)
+class LinkUsage:
+    """One inferred interdomain IP link and the tests that crossed it."""
+
+    link: InferredLink
+    test_count: int
+    #: DNS-derived router identity of the named side, None when unnamed.
+    dns_router_key: tuple | None
+    #: Metro name recovered from the DNS name, None when unnamed.
+    dns_city: str | None
+
+
+@dataclass(frozen=True)
+class LinkDiversityReport:
+    """Table 2 block: links between one server's network and one ISP."""
+
+    server_label: str
+    client_org: str
+    #: The client-side ASNs involved, each with its own usage rows —
+    #: Table 2 lists Comcast's AS7922/AS7725/AS22909 separately.
+    usages_by_client_asn: dict[int, tuple[LinkUsage, ...]]
+
+    def total_links(self) -> int:
+        return sum(len(usages) for usages in self.usages_by_client_asn.values())
+
+    def tests_per_link(self, client_asn: int) -> list[int]:
+        return sorted(
+            (u.test_count for u in self.usages_by_client_asn.get(client_asn, ())),
+            reverse=True,
+        )
+
+    def dns_parallel_groups(self) -> dict[tuple, int]:
+        """Router-identity → link count, over links with a parsed DNS name.
+
+        A group with count > 1 is a set of parallel links on one router —
+        the §4.3 Cox finding (e.g. 12 links on one Dallas router).
+        """
+        groups: Counter[tuple] = Counter()
+        for usages in self.usages_by_client_asn.values():
+            for usage in usages:
+                if usage.dns_router_key is not None:
+                    groups[usage.dns_router_key] += 1
+        return dict(groups)
+
+    def dns_cities(self) -> set[str]:
+        return {
+            usage.dns_city
+            for usages in self.usages_by_client_asn.values()
+            for usage in usages
+            if usage.dns_city is not None
+        }
+
+
+def link_diversity(
+    matched_pairs: list[tuple[NDTRecord, TracerouteRecord]],
+    mapit_result: MapItResult,
+    oracle: OriginOracle,
+    server_org_asn: int,
+    server_label: str,
+    rdns: ReverseDNS,
+    org_names: dict[int, str],
+) -> dict[str, LinkDiversityReport]:
+    """Table 2 analysis for one server('s network): links per client ISP.
+
+    For every matched test, the crossing between the server's organization
+    and the client's organization is located in the traceroute via MAP-IT;
+    tests are then grouped per client ASN and per inferred IP link. DNS
+    names of the server-side interface are parsed to group parallel links
+    and recover metros — exactly the paper's §4.3 procedure.
+    """
+    per_client_counts: dict[tuple[int, int], Counter[tuple[int, int]]] = defaultdict(Counter)
+    link_objects: dict[tuple[int, int], InferredLink] = {}
+
+    for record, trace in matched_pairs:
+        client_asn_raw = oracle.origin_raw(record.client_ip)
+        if client_asn_raw is None:
+            continue
+        crossings = mapit_result.annotate_trace(trace.router_hop_ips())
+        for _index, link in crossings:
+            sides = {link.near_asn, link.far_asn}
+            if oracle.canonical(server_org_asn) not in sides:
+                continue
+            client_side = next(iter(sides - {oracle.canonical(server_org_asn)}), None)
+            if client_side is None or not oracle.same_org(client_side, client_asn_raw):
+                continue
+            key = (client_side, client_asn_raw)
+            per_client_counts[key][link.ip_pair()] += 1
+            link_objects[link.ip_pair()] = link
+
+    by_org: dict[str, dict[int, list[LinkUsage]]] = defaultdict(lambda: defaultdict(list))
+    for (client_side, client_asn_raw), counts in per_client_counts.items():
+        org_label = org_names.get(oracle.canonical(client_asn_raw), f"AS{client_asn_raw}")
+        for ip_pair, test_count in counts.items():
+            link = link_objects[ip_pair]
+            router_key, city = _dns_identity(link, rdns)
+            by_org[org_label][client_asn_raw].append(
+                LinkUsage(
+                    link=link,
+                    test_count=test_count,
+                    dns_router_key=router_key,
+                    dns_city=city,
+                )
+            )
+
+    reports: dict[str, LinkDiversityReport] = {}
+    for org_label, by_asn in by_org.items():
+        reports[org_label] = LinkDiversityReport(
+            server_label=server_label,
+            client_org=org_label,
+            usages_by_client_asn={
+                asn: tuple(sorted(usages, key=lambda u: -u.test_count))
+                for asn, usages in by_asn.items()
+            },
+        )
+    return reports
+
+
+def _dns_identity(link: InferredLink, rdns: ReverseDNS) -> tuple[tuple | None, str | None]:
+    """Parse the PTR name of either link side into (router key, metro)."""
+    for ip in (link.near_ip, link.far_ip):
+        name = rdns.lookup(ip)
+        if name is None:
+            continue
+        parsed = parse_interface_name(name)
+        if parsed is not None:
+            return parsed.router_key(), parsed.city
+    return None, None

@@ -1,0 +1,181 @@
+"""Interconnection coverage analysis (§5, Figures 2–4).
+
+From one Ark VP: bdrmap enumerates the VP network's interdomain borders
+(the denominator); traceroutes toward each platform's servers and toward
+popular-content targets mark which of those borders a test *could*
+exercise (the numerators). Coverage is reported at the AS level (neighbor
+organizations) and router level (border-router/neighbor pairs), for all
+relationships and peers-only, plus the Figure 4 set differences against
+the popular-content borders.
+
+Ownership correction runs once over the union of all trace corpora so the
+denominator and every numerator live in the same inferred topology.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.inference.alias import AliasResolver
+from repro.inference.bdrmap import _first_departure, org_relationship
+from repro.inference.borders import OriginOracle
+from repro.inference.mapit import MapIt, MapItConfig
+from repro.measurement.records import TracerouteRecord
+from repro.platforms.ark import ArkVP
+from repro.topology.asgraph import Relationship
+from repro.topology.internet import Internet
+
+#: Border identity at the router level: (VP-side alias group, neighbor org).
+RouterBorder = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class BorderSet:
+    """Borders reachable via one target set (or enumerated by bdrmap)."""
+
+    name: str
+    as_level: frozenset[int]
+    router_level: frozenset[RouterBorder]
+
+    def as_count(self) -> int:
+        return len(self.as_level)
+
+    def router_count(self) -> int:
+        return len(self.router_level)
+
+    def restrict(self, neighbors: frozenset[int], name: str | None = None) -> "BorderSet":
+        """Subset whose neighbor org is in ``neighbors`` (e.g. peers only)."""
+        return BorderSet(
+            name=name if name is not None else self.name,
+            as_level=self.as_level & neighbors,
+            router_level=frozenset(
+                (g, n) for (g, n) in self.router_level if n in neighbors
+            ),
+        )
+
+
+@dataclass
+class CoverageReport:
+    """Everything Figures 2–4 need for one VP."""
+
+    vp: ArkVP
+    #: The bdrmap-discovered denominator.
+    discovered: BorderSet
+    #: Borders crossed toward each platform / target set, by name.
+    reachable: dict[str, BorderSet]
+    #: Neighbor org → relationship (from the VP network's perspective).
+    relationships: dict[int, Relationship | None]
+
+    def peers(self) -> frozenset[int]:
+        return frozenset(
+            n for n, rel in self.relationships.items() if rel is Relationship.PEER
+        )
+
+    def coverage_fraction(self, name: str, level: str = "as", peers_only: bool = False) -> float:
+        """Covered / discovered at the AS or router level."""
+        denominator = self.discovered
+        numerator = self.reachable[name]
+        if peers_only:
+            peer_set = self.peers()
+            denominator = denominator.restrict(peer_set)
+            numerator = numerator.restrict(peer_set)
+        if level == "as":
+            total = denominator.as_count()
+            covered = len(numerator.as_level & denominator.as_level)
+        elif level == "router":
+            total = denominator.router_count()
+            covered = len(numerator.router_level & denominator.router_level)
+        else:
+            raise ValueError(f"unknown level {level!r}")
+        return covered / total if total else 0.0
+
+    def set_difference(self, a: str, b: str, level: str = "as") -> int:
+        """|borders reachable via a but not via b| — the Figure 4 bars."""
+        set_a = self.reachable[a]
+        set_b = self.reachable[b]
+        if level == "as":
+            return len(set_a.as_level - set_b.as_level)
+        if level == "router":
+            return len(set_a.router_level - set_b.router_level)
+        raise ValueError(f"unknown level {level!r}")
+
+
+def coverage_analysis(
+    internet: Internet,
+    vp: ArkVP,
+    bdrmap_traces: list[TracerouteRecord],
+    platform_traces: dict[str, list[TracerouteRecord]],
+    oracle: OriginOracle,
+    alias_resolver: AliasResolver | None = None,
+    mapit_config: MapItConfig | None = None,
+) -> CoverageReport:
+    """Run the full §5 coverage analysis for one VP."""
+    vp_org = oracle.canonical(vp.asn)
+    all_paths: list[list[int | None]] = [t.router_hop_ips() for t in bdrmap_traces]
+    for traces in platform_traces.values():
+        all_paths.extend(t.router_hop_ips() for t in traces)
+
+    ownership = MapIt(oracle, internet.graph, mapit_config).infer(all_paths).ownership
+    observed = {ip for path in all_paths for ip in path if ip is not None}
+    resolver = alias_resolver if alias_resolver is not None else AliasResolver(internet)
+    aliases = resolver.resolve(observed)
+
+    def borders_of(traces: list[TracerouteRecord], name: str) -> BorderSet:
+        as_level: set[int] = set()
+        router_level: set[RouterBorder] = set()
+        for trace in traces:
+            crossing = _first_departure(trace.router_hop_ips(), ownership, vp_org, oracle)
+            if crossing is None:
+                continue
+            near_ip, _far_ip, neighbor = crossing
+            as_level.add(neighbor)
+            router_level.add((aliases.group(near_ip), neighbor))
+        return BorderSet(
+            name=name,
+            as_level=frozenset(as_level),
+            router_level=frozenset(router_level),
+        )
+
+    discovered = borders_of(bdrmap_traces, "bdrmap")
+    reachable = {
+        name: borders_of(traces, name) for name, traces in platform_traces.items()
+    }
+    relationships = {
+        neighbor: org_relationship(internet, vp_org, neighbor)
+        for neighbor in discovered.as_level
+        | {n for border_set in reachable.values() for n in border_set.as_level}
+    }
+    return CoverageReport(
+        vp=vp,
+        discovered=discovered,
+        reachable=reachable,
+        relationships=relationships,
+    )
+
+
+def collect_target_traces(
+    internet: Internet,
+    vp: ArkVP,
+    engine,
+    targets: list[tuple[int, int, str]],
+    label: str,
+) -> list[TracerouteRecord]:
+    """Traceroute from a VP toward (ip, asn, city) targets."""
+    traces: list[TracerouteRecord] = []
+    for ip, asn, city in targets:
+        if asn not in internet.graph:
+            continue
+        record = engine.trace(
+            src_ip=vp.ip,
+            src_asn=vp.asn,
+            src_city=vp.city,
+            dst_ip=ip,
+            dst_asn=asn,
+            dst_city=city,
+            timestamp_s=0.0,
+            flow_key=("coverage", label, vp.code, ip),
+        )
+        if record is not None:
+            traces.append(record)
+    return traces

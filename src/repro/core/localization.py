@@ -1,0 +1,186 @@
+"""Per-IP-link congestion localization — the paper's stated future work.
+
+§7, "Future work": *"we are using the NDT tests in conjunction with Paris
+traceroutes and MAP-IT inferences to identify the specific IP-level
+interconnection traversed by each test. By doing so, we will be able to
+analyze the performance of tests traversing each individual IP-level
+interconnect between a given source and client AS, and to make inferences
+about whether specific IP-level interconnection links are congested."*
+
+This module is that analysis, built from public data only:
+
+1. match NDT tests to their Paris traceroutes (§4.1 machinery);
+2. run MAP-IT over the matched traces;
+3. attribute every matched test to the inferred interdomain IP links its
+   traceroute crossed;
+4. per link, bin the attributed tests by local hour and apply the
+   diurnal-drop congestion rule — the Figure 5 analysis, disaggregated to
+   the granularity the paper says it should have had.
+
+The traceroute flow and the NDT flow can take different members of an
+ECMP group (the Huang et al. synchronization artifact), so attribution is
+per *parallel group* in effect: a documented, measured limitation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.congestion import CongestionVerdict, classify_series, diurnal_series
+from repro.inference.mapit import InferredLink, MapItResult
+from repro.measurement.records import NDTRecord, TracerouteRecord
+
+
+@dataclass(frozen=True)
+class LinkVerdict:
+    """Congestion verdict for one inferred interdomain IP link.
+
+    ``clean_test_count`` is the number of attributed tests whose paths
+    cross *no other* congested-verdict link. A congested verdict resting
+    on zero clean tests is *entangled*: every observation also crossed
+    another blamed link, so — exactly as in boolean tomography — the data
+    cannot say which of them is the culprit.
+    """
+
+    link: InferredLink
+    verdict: CongestionVerdict
+    test_count: int
+    clean_test_count: int = 0
+
+    @property
+    def entangled(self) -> bool:
+        return self.verdict.congested and self.clean_test_count == 0
+
+
+@dataclass
+class LinkLocalizationResult:
+    """Per-link verdicts for one analysis run."""
+
+    verdicts: list[LinkVerdict]
+    #: Tests whose traceroute crossed no inferred interdomain link.
+    unattributed_tests: int
+
+    def congested_links(self) -> list[LinkVerdict]:
+        return [v for v in self.verdicts if v.verdict.congested]
+
+    def identifiable_congested_links(self) -> list[LinkVerdict]:
+        """Congested links supported by clean-path evidence."""
+        return [v for v in self.congested_links() if not v.entangled]
+
+    def entangled_links(self) -> list[LinkVerdict]:
+        """Blamed links the data cannot separate from other blamed links."""
+        return [v for v in self.congested_links() if v.entangled]
+
+    def by_ip_pair(self) -> dict[tuple[int, int], LinkVerdict]:
+        return {v.link.ip_pair(): v for v in self.verdicts}
+
+
+def localize_per_link(
+    matched_pairs: list[tuple[NDTRecord, TracerouteRecord]],
+    mapit_result: MapItResult,
+    threshold: float = 0.5,
+    min_tests: int = 50,
+    max_refinement_rounds: int = 5,
+    client_org_of=None,
+) -> LinkLocalizationResult:
+    """Attribute tests to inferred IP links and classify each link.
+
+    A test contributes its throughput to *every* link its traceroute
+    crossed, so a healthy mid-path link whose traffic predominantly
+    continues into a congested downstream link inherits the collapse. The
+    refinement loop applies binary-tomography exoneration: a suspicious
+    link whose tests look healthy once paths through *other* suspicious
+    links are excluded was merely guilty by association, and is cleared.
+    Iterating lets the blame concentrate on the links no clean path can
+    explain away.
+
+    When ``client_org_of`` is given (a callable NDTRecord → canonical org
+    ASN, typically backed by the public prefix→AS data), attribution is
+    restricted to crossings whose far side is the *client's* organization
+    — the paper's actual proposal ("the specific IP-level interconnection
+    traversed ... between a given source and client AS"). Without the
+    restriction, mid-path transit↔transit links inherit the collapse of
+    downstream culprits whenever the culprit's own crossing went
+    unobserved (a silent border router), which is exactly the §7 warning
+    about traceroute-only path information.
+
+    Links with fewer than ``min_tests`` attributed tests are never called
+    congested — their ``verdict.sample_count`` exposes the thin support,
+    the §6.1 small-sample caveat at this finer granularity.
+    """
+    by_link: dict[tuple[int, int], list[NDTRecord]] = defaultdict(list)
+    links_of_test: dict[int, set[tuple[int, int]]] = defaultdict(set)
+    link_objects: dict[tuple[int, int], InferredLink] = {}
+    unattributed = 0
+    for record, trace in matched_pairs:
+        crossings = mapit_result.annotate_trace(trace.router_hop_ips())
+        if client_org_of is not None:
+            client_org = client_org_of(record)
+            crossings = [
+                (index, link)
+                for index, link in crossings
+                if client_org in (link.near_asn, link.far_asn)
+            ]
+        if not crossings:
+            unattributed += 1
+            continue
+        for _index, link in crossings:
+            by_link[link.ip_pair()].append(record)
+            links_of_test[record.test_id].add(link.ip_pair())
+            link_objects[link.ip_pair()] = link
+
+    def classify(records: list[NDTRecord]) -> CongestionVerdict:
+        verdict = classify_series(diurnal_series(records), threshold=threshold)
+        if len(records) < min_tests and verdict.congested:
+            verdict = CongestionVerdict(
+                peak_median=verdict.peak_median,
+                offpeak_median=verdict.offpeak_median,
+                relative_drop=verdict.relative_drop,
+                threshold=threshold,
+                congested=False,  # insufficient support to claim congestion
+                sample_count=verdict.sample_count,
+                min_hour_count=verdict.min_hour_count,
+            )
+        return verdict
+
+    naive: dict[tuple[int, int], CongestionVerdict] = {
+        ip_pair: classify(records) for ip_pair, records in by_link.items()
+    }
+    suspicious = {pair for pair, verdict in naive.items() if verdict.congested}
+    final = dict(naive)
+
+    for _round in range(max_refinement_rounds):
+        exonerated: set[tuple[int, int]] = set()
+        for pair in sorted(suspicious):
+            purified = [
+                record
+                for record in by_link[pair]
+                if not (links_of_test[record.test_id] & suspicious - {pair})
+            ]
+            if len(purified) < min_tests:
+                continue  # not enough clean evidence either way: keep blame
+            verdict = classify(purified)
+            if not verdict.congested:
+                exonerated.add(pair)
+                final[pair] = verdict
+        if not exonerated:
+            break
+        suspicious -= exonerated
+
+    verdicts = []
+    for ip_pair in sorted(by_link):
+        clean = sum(
+            1
+            for record in by_link[ip_pair]
+            if not (links_of_test[record.test_id] & suspicious - {ip_pair})
+        )
+        verdicts.append(
+            LinkVerdict(
+                link=link_objects[ip_pair],
+                verdict=final[ip_pair],
+                test_count=len(by_link[ip_pair]),
+                clean_test_count=clean,
+            )
+        )
+    return LinkLocalizationResult(verdicts=verdicts, unattributed_tests=unattributed)

@@ -1,0 +1,163 @@
+"""Study builder: one object wiring the whole stack.
+
+Examples and experiments all need the same preamble — generate the
+Internet, provision links, create clients and platforms, stand up routing
+and the TCP model. :func:`build_study` does that once per configuration
+(memoized, since topology generation and routing caches dominate setup
+cost) and hands back a :class:`Study` with everything attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.inference.borders import OriginOracle
+from repro.measurement.traceroute import TracerouteConfig, TracerouteEngine
+from repro.net.link import CongestionDirective, LinkNetwork, ProvisioningConfig, provision_links
+from repro.net.tcp import TCPModel
+from repro.platforms.alexa import AlexaTarget, make_alexa_targets
+from repro.platforms.ark import ArkVP, make_ark_vps
+from repro.platforms.campaign import CampaignConfig, CampaignResult, run_ndt_campaign
+from repro.platforms.clients import ClientPopulation, PopulationConfig
+from repro.platforms.mlab import MLabConfig, MLabPlatform
+from repro.platforms.speedtest import SpeedtestConfig, SpeedtestPlatform
+from repro.routing.bgp import BGPRouting
+from repro.routing.forwarding import Forwarder
+from repro.topology.generator import InternetConfig, generate_internet
+from repro.topology.internet import Internet
+
+#: The congestion scenario of the 2014/2015 M-Lab reports: AT&T's GTT
+#: interconnects saturate at peak (the Figure 5(a) case); Verizon↔TATA and
+#: TimeWarner↔Cogent join per the 2015 update. Comcast↔GTT is deliberately
+#: left healthy — its Figure 5(b) dip must come from the cable access
+#: medium, not the interconnect.
+DEFAULT_DIRECTIVES: tuple[CongestionDirective, ...] = (
+    CongestionDirective("GTT", "ATT", city_code=None, peak_load=1.30),
+    CongestionDirective("TATA", "Verizon", city_code=None, peak_load=1.25),
+    CongestionDirective("Cogent", "TimeWarnerCable", city_code=None, peak_load=1.20),
+)
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Everything that determines a study world."""
+
+    seed: int = 7
+    epoch: str = "2015"
+    scale: float = 1.0
+    directives: tuple[CongestionDirective, ...] = DEFAULT_DIRECTIVES
+    random_congested_fraction: float = 0.0
+    mlab_server_count: int = 261
+    speedtest_server_count: int = 900
+    clients_per_million: float = 60.0
+
+
+@dataclass
+class Study:
+    """A fully wired study world."""
+
+    config: StudyConfig
+    internet: Internet
+    links: LinkNetwork
+    population: ClientPopulation
+    mlab: MLabPlatform
+    speedtest: SpeedtestPlatform
+    routing: BGPRouting
+    forwarder: Forwarder
+    tcp: TCPModel
+    oracle: OriginOracle
+    traceroute_engine: TracerouteEngine
+    org_names: dict[int, str] = field(default_factory=dict)
+
+    def run_campaign(self, campaign: CampaignConfig) -> CampaignResult:
+        """Run a crowdsourced NDT campaign in this world.
+
+        The campaign gets its own noise and traceroute-artifact streams
+        derived from its seed, so identical campaign configs replay
+        identically regardless of what ran earlier on this study.
+        """
+        engine = TracerouteEngine(
+            self.internet,
+            self.forwarder,
+            TracerouteConfig(seed=self.config.seed),
+        )
+        return run_ndt_campaign(
+            self.internet,
+            self.population,
+            self.mlab,
+            self.forwarder,
+            self.tcp.reseeded(campaign.seed),
+            campaign,
+            traceroute_engine=engine,
+        )
+
+    def ark_vps(self) -> list[ArkVP]:
+        return make_ark_vps(self.internet)
+
+    def alexa_targets(self, count: int = 500) -> list[AlexaTarget]:
+        return make_alexa_targets(self.internet, count=count, seed=self.config.seed)
+
+    def org_label(self, asn: int) -> str:
+        canonical = self.oracle.canonical(asn)
+        return self.org_names.get(canonical, f"AS{canonical}")
+
+
+_STUDY_CACHE: dict[StudyConfig, Study] = {}
+
+
+def build_study(config: StudyConfig | None = None) -> Study:
+    """Build (or fetch from cache) the study world for a configuration."""
+    if config is None:
+        config = StudyConfig()
+    cached = _STUDY_CACHE.get(config)
+    if cached is not None:
+        return cached
+
+    internet = generate_internet(
+        InternetConfig(seed=config.seed, scale=config.scale, epoch=config.epoch)
+    )
+    links = provision_links(
+        internet,
+        ProvisioningConfig(
+            seed=config.seed,
+            directives=config.directives,
+            random_congested_fraction=config.random_congested_fraction,
+        ),
+    )
+    population = ClientPopulation(
+        internet,
+        PopulationConfig(seed=config.seed, clients_per_million=config.clients_per_million),
+    )
+    mlab = MLabPlatform(internet, MLabConfig(seed=config.seed, server_count=config.mlab_server_count))
+    speedtest = SpeedtestPlatform(
+        internet, SpeedtestConfig(seed=config.seed, server_count=config.speedtest_server_count)
+    )
+    routing = BGPRouting(internet.graph)
+    forwarder = Forwarder(internet, routing)
+    tcp = TCPModel(links, seed=config.seed)
+    oracle = OriginOracle(internet.prefix_table, internet.orgs, internet.ixps.prefixes())
+    engine = TracerouteEngine(internet, forwarder, TracerouteConfig(seed=config.seed))
+    org_names = {
+        org.primary: org.name for org in internet.orgs.organizations()
+    }
+    study = Study(
+        config=config,
+        internet=internet,
+        links=links,
+        population=population,
+        mlab=mlab,
+        speedtest=speedtest,
+        routing=routing,
+        forwarder=forwarder,
+        tcp=tcp,
+        oracle=oracle,
+        traceroute_engine=engine,
+        org_names=org_names,
+    )
+    _STUDY_CACHE[config] = study
+    return study
+
+
+def clear_study_cache() -> None:
+    """Drop memoized studies (tests use this to control memory)."""
+    _STUDY_CACHE.clear()

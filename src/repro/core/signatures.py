@@ -1,0 +1,122 @@
+"""TCP congestion signatures — the paper's own future-work direction.
+
+The paper closes (§7, "Future work") citing Sundaresan et al., "TCP
+Congestion Signatures" (IMC 2017) [37]: from RTT signatures of a speed
+test one can tell whether the flow was limited by an *already congested*
+link (the queue was standing before the flow arrived) or whether the flow
+itself drove the buffer (a self-induced bottleneck, typically the access
+link). The discriminating features are the flow's minimum RTT relative to
+the path's unloaded baseline, and how much of the RTT range was already
+present at flow start.
+
+We implement that classifier against our models:
+
+* an NDT flow through a link congested by *background* load sees an
+  elevated RTT floor — the standing queue — so
+  ``(rtt_min − baseline) / baseline`` is large;
+* a flow that is access-limited fills its own access buffer: RTT starts
+  at the baseline and grows with the flow, so the floor stays near the
+  baseline even though the maximum is high.
+
+:func:`classify_flow` returns one of ``"external-congestion"``,
+``"self-induced"``, or ``"unconstrained"``. Ground-truth scoring lives in
+the experiment (see ``repro.experiments`` usage in tests/benches).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FlowLimit(enum.Enum):
+    """What constrained the flow, per the RTT signature."""
+
+    EXTERNAL_CONGESTION = "external-congestion"
+    SELF_INDUCED = "self-induced"
+    UNCONSTRAINED = "unconstrained"
+
+
+@dataclass(frozen=True)
+class FlowRTTSignature:
+    """RTT features of one flow.
+
+    ``baseline_rtt_ms`` is the path's unloaded RTT (from a prior idle
+    probe or the historical per-path minimum, both available to a speed
+    test platform); ``rtt_min_ms``/``rtt_max_ms`` are the flow's own
+    extremes.
+    """
+
+    baseline_rtt_ms: float
+    rtt_min_ms: float
+    rtt_max_ms: float
+
+    def floor_elevation(self) -> float:
+        """Relative elevation of the flow's RTT floor over the baseline."""
+        if self.baseline_rtt_ms <= 0:
+            raise ValueError("baseline RTT must be positive")
+        return max(0.0, (self.rtt_min_ms - self.baseline_rtt_ms) / self.baseline_rtt_ms)
+
+    def floor_delta_ms(self) -> float:
+        """Absolute elevation of the flow's RTT floor over the baseline."""
+        return max(0.0, self.rtt_min_ms - self.baseline_rtt_ms)
+
+    def self_inflation(self) -> float:
+        """Relative RTT growth during the flow (its own queue build-up)."""
+        if self.rtt_min_ms <= 0:
+            raise ValueError("rtt_min must be positive")
+        return max(0.0, (self.rtt_max_ms - self.rtt_min_ms) / self.rtt_min_ms)
+
+
+def classify_flow(
+    signature: FlowRTTSignature,
+    floor_threshold: float = 0.25,
+    floor_min_ms: float = 8.0,
+    inflation_threshold: float = 0.25,
+) -> FlowLimit:
+    """Classify one flow from its RTT signature.
+
+    * floor already elevated ⇒ the queue predated the flow: an
+      **externally congested** link on the path. The test is both
+      relative (``floor_threshold``) and absolute (``floor_min_ms``):
+      residual transient queueing lifts the floor by a few milliseconds
+      even on healthy paths, whereas a standing queue adds tens;
+    * floor at baseline but large in-flow inflation ⇒ the flow built the
+      queue itself: a **self-induced** (access) bottleneck;
+    * neither ⇒ the flow was not queue-limited at all.
+    """
+    if (
+        signature.floor_elevation() >= floor_threshold
+        and signature.floor_delta_ms() >= floor_min_ms
+    ):
+        return FlowLimit.EXTERNAL_CONGESTION
+    if signature.self_inflation() >= inflation_threshold:
+        return FlowLimit.SELF_INDUCED
+    return FlowLimit.UNCONSTRAINED
+
+
+def signature_from_observation(
+    baseline_rtt_ms: float,
+    observed_rtt_ms: float,
+    bottleneck_kind: str,
+    self_buffer_ms: float = 25.0,
+) -> FlowRTTSignature:
+    """Derive the flow's RTT signature from the TCP model's outputs.
+
+    The model reports one loaded RTT (propagation + standing queues). For
+    the signature we need the flow's min/max: the minimum is the loaded
+    RTT (standing queues are there from the first packet); the maximum
+    adds the flow's *own* buffer occupancy when the flow is the one
+    saturating its bottleneck (access-limited flows fill the access
+    buffer; congested links are already full, the flow adds little).
+    """
+    rtt_min = observed_rtt_ms
+    if bottleneck_kind == "access":
+        rtt_max = observed_rtt_ms + self_buffer_ms
+    else:
+        rtt_max = observed_rtt_ms + 2.0
+    return FlowRTTSignature(
+        baseline_rtt_ms=baseline_rtt_ms,
+        rtt_min_ms=rtt_min,
+        rtt_max_ms=rtt_max,
+    )

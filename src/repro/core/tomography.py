@@ -1,0 +1,217 @@
+"""Network tomography: binary (path-level) and simplified AS-level (§3).
+
+Two localization strategies face off here:
+
+* :func:`binary_tomography` — Duffield-style boolean tomography over full
+  per-path link sets: links appearing on any "good" path are exonerated,
+  then a smallest set of remaining links is chosen to cover all "bad"
+  paths. This is what *could* be done with complete router-level path
+  information, and is the baseline the paper says existing platforms
+  cannot support.
+* :func:`simplified_as_tomography` — the M-Lab reports' method: treat each
+  (source network, access ISP) aggregate as one end-to-end observation,
+  call the aggregate congested by the diurnal-drop rule, and — provided
+  some *other* source network reaches the same ISP cleanly (ruling out the
+  access link) — blame the interdomain link between the pair. The three
+  assumptions of §3.1 are exactly the gap between this and the truth, and
+  the ablation experiment measures that gap.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.congestion import CongestionVerdict, classify_series, diurnal_series
+from repro.measurement.records import NDTRecord
+
+
+def binary_tomography(
+    observations: Iterable[tuple[Sequence[int], bool]],
+) -> set[int]:
+    """Infer the smallest bad-link set consistent with path observations.
+
+    ``observations`` yields (link ids on path, path_is_bad). Links on any
+    good path are assumed good (the separability assumption of binary
+    tomography); remaining candidates are chosen greedily to cover all bad
+    paths. Returns the inferred bad-link set; bad paths containing only
+    exonerated links are unexplainable and contribute nothing.
+    """
+    good_links: set[int] = set()
+    bad_paths: list[frozenset[int]] = []
+    for links, is_bad in observations:
+        if is_bad:
+            bad_paths.append(frozenset(links))
+        else:
+            good_links.update(links)
+
+    uncovered = [path - good_links for path in bad_paths]
+    uncovered = [path for path in uncovered if path]
+    inferred: set[int] = set()
+    while uncovered:
+        counts: Counter[int] = Counter()
+        for path in uncovered:
+            counts.update(path)
+        best_link, _ = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))
+        inferred.add(best_link)
+        uncovered = [path for path in uncovered if best_link not in path]
+    return inferred
+
+
+def aggregate_path_observations(
+    observations: Iterable[tuple[Sequence[int], bool]],
+    bad_fraction: float = 0.5,
+    min_observations: int = 1,
+) -> list[tuple[tuple[int, ...], bool]]:
+    """Collapse repeated per-test observations into one verdict per path.
+
+    Binary tomography assumes a consistent link state; individual tests
+    straddling the shoulder of the peak (or hit by last-mile noise) make
+    the raw stream contradictory — a congested link then shows up on one
+    "good" path and is wrongly exonerated. Majority-voting per distinct
+    link set restores the consistent-state picture; paths observed fewer
+    than ``min_observations`` times carry too little signal (one bad home
+    Wi-Fi moment would convict an innocent path) and are dropped.
+    """
+    votes: dict[tuple[int, ...], list[int]] = {}
+    for links, is_bad in observations:
+        key = tuple(links)
+        counts = votes.setdefault(key, [0, 0])
+        counts[1 if is_bad else 0] += 1
+    aggregated = []
+    for key, (good, bad) in sorted(votes.items()):
+        total = good + bad
+        if total < min_observations:
+            continue
+        aggregated.append((key, bad / total >= bad_fraction))
+    return aggregated
+
+
+@dataclass(frozen=True)
+class PairInference:
+    """Simplified tomography outcome for one (source org, client org) pair."""
+
+    source_org: str
+    client_org: str
+    verdict: CongestionVerdict
+    #: Sources reaching the same client org without congestion — the
+    #: cross-check that lets the method rule out the access link.
+    clean_alternates: tuple[str, ...]
+    #: True when the method blames the source↔client interdomain link.
+    inferred_interdomain_congestion: bool
+
+
+@dataclass
+class ASTomographyResult:
+    """All pair inferences of one simplified-tomography run."""
+
+    pairs: list[PairInference]
+
+    def inferred_congested_pairs(self) -> list[tuple[str, str]]:
+        return [
+            (p.source_org, p.client_org)
+            for p in self.pairs
+            if p.inferred_interdomain_congestion
+        ]
+
+
+def simplified_as_tomography(
+    tests_by_pair: dict[tuple[str, str], list[NDTRecord]],
+    threshold: float = 0.5,
+    min_samples: int = 50,
+) -> ASTomographyResult:
+    """Run the M-Lab-style AS-level inference over grouped NDT tests.
+
+    ``tests_by_pair`` maps (source org, client org) to that aggregate's
+    tests. A pair is inferred congested at the interdomain link when its
+    own series trips the threshold *and* at least one other source reaches
+    the same client org without tripping it (the §3.1 cross-source
+    control). Pairs with fewer than ``min_samples`` tests are never
+    inferred (no statistical basis), though they still serve as alternates
+    only when clean.
+    """
+    verdicts: dict[tuple[str, str], CongestionVerdict] = {}
+    for pair, records in tests_by_pair.items():
+        verdicts[pair] = classify_series(diurnal_series(records), threshold)
+
+    by_client: dict[str, list[str]] = {}
+    for source_org, client_org in tests_by_pair:
+        by_client.setdefault(client_org, []).append(source_org)
+
+    pairs: list[PairInference] = []
+    for (source_org, client_org), verdict in sorted(verdicts.items()):
+        alternates = tuple(
+            sorted(
+                other
+                for other in by_client[client_org]
+                if other != source_org and not verdicts[(other, client_org)].congested
+            )
+        )
+        inferred = (
+            verdict.congested
+            and verdict.sample_count >= min_samples
+            and len(alternates) > 0
+        )
+        pairs.append(
+            PairInference(
+                source_org=source_org,
+                client_org=client_org,
+                verdict=verdict,
+                clean_alternates=alternates,
+                inferred_interdomain_congestion=inferred,
+            )
+        )
+    return ASTomographyResult(pairs=pairs)
+
+
+@dataclass(frozen=True)
+class LocalizationScore:
+    """Ground-truth evaluation of a localization attempt."""
+
+    true_positive_pairs: tuple[tuple[str, str], ...]
+    mislocalized_pairs: tuple[tuple[str, str], ...]  # congestion real, blamed link wrong
+    false_positive_pairs: tuple[tuple[str, str], ...]  # no congestion on those paths
+    missed_pairs: tuple[tuple[str, str], ...]
+
+    @property
+    def precision(self) -> float:
+        inferred = (
+            len(self.true_positive_pairs)
+            + len(self.mislocalized_pairs)
+            + len(self.false_positive_pairs)
+        )
+        return len(self.true_positive_pairs) / inferred if inferred else 1.0
+
+    @property
+    def recall(self) -> float:
+        actual = len(self.true_positive_pairs) + len(self.missed_pairs)
+        return len(self.true_positive_pairs) / actual if actual else 1.0
+
+
+def score_as_localization(
+    result: ASTomographyResult,
+    truly_congested_org_pairs: set[tuple[str, str]],
+    pairs_with_congestion_elsewhere: set[tuple[str, str]],
+) -> LocalizationScore:
+    """Score inferred pairs against ground truth.
+
+    ``truly_congested_org_pairs`` holds (source, client) pairs whose
+    interdomain interconnect really is congested;
+    ``pairs_with_congestion_elsewhere`` holds pairs whose paths are
+    congested at some *other* link (intra-AS or a third network) — blaming
+    the interdomain link there is the mislocalization the paper warns of.
+    """
+    inferred = set(result.inferred_congested_pairs())
+    tp = tuple(sorted(inferred & truly_congested_org_pairs))
+    mis = tuple(sorted((inferred - truly_congested_org_pairs) & pairs_with_congestion_elsewhere))
+    fp = tuple(
+        sorted(inferred - truly_congested_org_pairs - pairs_with_congestion_elsewhere)
+    )
+    missed = tuple(sorted(truly_congested_org_pairs - inferred))
+    return LocalizationScore(
+        true_positive_pairs=tp,
+        mislocalized_pairs=mis,
+        false_positive_pairs=fp,
+        missed_pairs=missed,
+    )

@@ -1,0 +1,44 @@
+"""Dataset export and import.
+
+M-Lab's defining property among speed-test platforms is that it publishes
+*all* raw data (NDT rows and Paris traceroutes, via BigQuery/Cloud
+Storage). This package gives the synthetic platform the same property:
+
+* :mod:`ndt_io` — NDT records to/from CSV (one row per test, BigQuery
+  style) and traceroutes to/from JSONL (one trace per line);
+* :mod:`topology_io` — the public topology artifacts (prefix→AS table,
+  AS-relationship list in CAIDA serial-1 format, AS→organization mapping,
+  IXP prefixes) to/from their conventional text formats.
+
+Ground-truth fields are exported too, but behind an explicit
+``include_ground_truth`` flag that defaults to False — a published dataset
+would not contain them.
+"""
+
+from repro.data.ndt_io import (
+    load_ndt_csv,
+    load_traceroutes_jsonl,
+    write_ndt_csv,
+    write_traceroutes_jsonl,
+)
+from repro.data.topology_io import (
+    load_as_org_map,
+    load_prefix_table,
+    load_relationships,
+    write_as_org_map,
+    write_prefix_table,
+    write_relationships,
+)
+
+__all__ = [
+    "load_as_org_map",
+    "load_ndt_csv",
+    "load_prefix_table",
+    "load_relationships",
+    "load_traceroutes_jsonl",
+    "write_as_org_map",
+    "write_ndt_csv",
+    "write_prefix_table",
+    "write_relationships",
+    "write_traceroutes_jsonl",
+]

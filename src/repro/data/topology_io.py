@@ -1,0 +1,149 @@
+"""Public topology artifacts in their conventional text formats.
+
+The inference algorithms consume exactly the files the paper's authors
+downloaded:
+
+* **prefix→AS** — ``<prefix>\\t<asn>`` lines (RouteViews pfx2as style);
+* **AS relationships** — CAIDA serial-1: ``<a>|<b>|<rel>`` with ``-1``
+  for provider→customer (a provides b) and ``0`` for peer;
+* **AS→organization** — a two-section format inspired by CAIDA's
+  as-org2info: org lines then AS lines.
+
+Writers take the generated artifacts; loaders reconstruct the lookup
+structures, so an analysis can run entirely from exported files.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.topology.addressing import Prefix, PrefixTable
+from repro.topology.asgraph import ASGraph, Relationship
+from repro.topology.orgs import Organization, OrgMap
+from repro.util.ip import parse_ip, prefix_str
+
+
+# ---------------------------------------------------------------------------
+# prefix -> AS
+
+
+def write_prefix_table(table: PrefixTable, path: str) -> int:
+    """Write a pfx2as-style file; returns the prefix count."""
+    prefixes = table.prefixes()
+    with open(path, "w", encoding="utf-8") as handle:
+        for prefix in prefixes:
+            handle.write(f"{prefix_str(prefix.base, prefix.length)}\t{prefix.asn}\n")
+    return len(prefixes)
+
+
+def load_prefix_table(path: str) -> PrefixTable:
+    table = PrefixTable()
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                cidr, asn_text = line.split("\t")
+                base_text, length_text = cidr.split("/")
+                table.insert(
+                    Prefix(parse_ip(base_text), int(length_text), int(asn_text))
+                )
+            except ValueError as error:
+                raise ValueError(f"{path}:{line_number}: malformed line {line!r}") from error
+    return table
+
+
+# ---------------------------------------------------------------------------
+# AS relationships (CAIDA serial-1)
+
+
+def write_relationships(graph: ASGraph, path: str) -> int:
+    """Write every AS edge in serial-1 format; returns the edge count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# <provider-as>|<customer-as>|-1  or  <peer-as>|<peer-as>|0\n")
+        for asn in graph.asns():
+            for neighbor, rel in sorted(graph.neighbors(asn).items()):
+                if neighbor < asn:
+                    continue  # each undirected edge once
+                if rel is Relationship.CUSTOMER:
+                    handle.write(f"{asn}|{neighbor}|-1\n")
+                elif rel is Relationship.PROVIDER:
+                    handle.write(f"{neighbor}|{asn}|-1\n")
+                else:
+                    handle.write(f"{asn}|{neighbor}|0\n")
+                count += 1
+    return count
+
+
+def load_relationships(path: str) -> list[tuple[int, int, int]]:
+    """Load serial-1 rows as (a, b, code) with code -1 = a provides b."""
+    rows: list[tuple[int, int, int]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("|")
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{line_number}: malformed line {line!r}")
+            rows.append((int(parts[0]), int(parts[1]), int(parts[2])))
+    return rows
+
+
+def relationships_to_graph_edges(
+    rows: Iterable[tuple[int, int, int]], graph: ASGraph
+) -> None:
+    """Apply loaded serial-1 rows onto a graph with its ASes pre-registered."""
+    for a, b, code in rows:
+        if code == -1:
+            graph.add_edge(a, b, Relationship.CUSTOMER)
+        elif code == 0:
+            graph.add_edge(a, b, Relationship.PEER)
+        else:
+            raise ValueError(f"unknown relationship code {code}")
+
+
+# ---------------------------------------------------------------------------
+# AS -> organization
+
+
+def write_as_org_map(orgs: OrgMap, path: str) -> int:
+    """Write an as-org2info-style file; returns the organization count."""
+    organizations = orgs.organizations()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# format: org|<org_id>|<name>|<primary_asn>\n")
+        handle.write("# format: as|<asn>|<org_id>\n")
+        for org in organizations:
+            handle.write(f"org|{org.org_id}|{org.name}|{org.primary}\n")
+        for org in organizations:
+            for asn in org.asns:
+                handle.write(f"as|{asn}|{org.org_id}\n")
+    return len(organizations)
+
+
+def load_as_org_map(path: str) -> OrgMap:
+    org_rows: dict[str, tuple[str, int]] = {}
+    as_rows: dict[str, list[int]] = {}
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("|")
+            if parts[0] == "org" and len(parts) == 4:
+                org_rows[parts[1]] = (parts[2], int(parts[3]))
+            elif parts[0] == "as" and len(parts) == 3:
+                as_rows.setdefault(parts[2], []).append(int(parts[1]))
+            else:
+                raise ValueError(f"{path}:{line_number}: malformed line {line!r}")
+    orgs = OrgMap()
+    for org_id, (name, primary) in org_rows.items():
+        asns = tuple(as_rows.get(org_id, ()))
+        if not asns:
+            continue
+        orgs.add(
+            Organization(org_id=org_id, name=name, asns=asns, primary_asn=primary)
+        )
+    return orgs

@@ -1,0 +1,60 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment module exposes ``run(study=None, **params) -> ExperimentResult``
+and prints the same rows/series the paper reports; ``EXPERIMENTS`` maps
+experiment ids to their entry points so the benchmark suite and the
+``python -m repro.experiments`` runner can enumerate them.
+"""
+
+from repro.experiments.base import ExperimentResult
+
+from repro.experiments import (  # noqa: F401  (registry imports)
+    abl_server_policy,
+    abl_tomography,
+    ext_asymmetry,
+    ext_iplink,
+    ext_signatures,
+    ext_stratification,
+    ext_tslp,
+    fig1_as_hops,
+    fig2_coverage,
+    fig3_peer_coverage,
+    fig4_alexa_overlap,
+    fig5_diurnal,
+    sec41_matching,
+    sec54_temporal,
+    sec62_thresholds,
+    tab1_providers,
+    tab2_link_diversity,
+    tab3_bdrmap,
+    val_asrank,
+    val_bdrmap,
+    val_mapit,
+)
+
+#: Experiment id → callable returning an ExperimentResult.
+EXPERIMENTS = {
+    "tab1": tab1_providers.run,
+    "fig1": fig1_as_hops.run,
+    "tab2": tab2_link_diversity.run,
+    "tab3": tab3_bdrmap.run,
+    "fig2": fig2_coverage.run,
+    "fig3": fig3_peer_coverage.run,
+    "fig4": fig4_alexa_overlap.run,
+    "fig5": fig5_diurnal.run,
+    "sec41": sec41_matching.run,
+    "sec54": sec54_temporal.run,
+    "sec62": sec62_thresholds.run,
+    "val-mapit": val_mapit.run,
+    "val-bdrmap": val_bdrmap.run,
+    "val-asrank": val_asrank.run,
+    "abl-tomo": abl_tomography.run,
+    "abl-policy": abl_server_policy.run,
+    "ext-tslp": ext_tslp.run,
+    "ext-strat": ext_stratification.run,
+    "ext-asym": ext_asymmetry.run,
+    "ext-iplink": ext_iplink.run,
+    "ext-sigs": ext_signatures.run,
+}
+
+__all__ = ["EXPERIMENTS", "ExperimentResult"]

@@ -1,0 +1,37 @@
+"""Run experiments from the command line.
+
+    python -m repro.experiments            # list experiment ids
+    python -m repro.experiments fig1 fig5  # run selected experiments
+    python -m repro.experiments all        # run everything
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("available experiments:")
+        for experiment_id in EXPERIMENTS:
+            print(f"  {experiment_id}")
+        print("usage: python -m repro.experiments <id>... | all")
+        return 0
+    ids = list(EXPERIMENTS) if argv == ["all"] else argv
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        start = time.time()
+        result = EXPERIMENTS[experiment_id]()
+        print(result.to_text())
+        print(f"  [{experiment_id} in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

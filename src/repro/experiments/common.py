@@ -1,0 +1,114 @@
+"""Shared, memoized heavy steps for the experiment suite.
+
+Several experiments consume the same May-2015-style campaign (fig1, tab2,
+sec62) or the same per-VP coverage trace collections (fig2/3/4, sec54).
+These helpers run each heavy step once per parameterization and cache the
+product in-process, which is what keeps the full experiment suite and the
+benchmark suite laptop-fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.coverage import CoverageReport, collect_target_traces, coverage_analysis
+from repro.core.matching import match_ndt_to_traceroutes
+from repro.core.pipeline import Study, StudyConfig, build_study
+from repro.inference.bdrmap import collect_bdrmap_traces
+from repro.inference.mapit import MapIt, MapItConfig, MapItResult
+from repro.measurement.records import NDTRecord, TracerouteRecord
+from repro.platforms.campaign import CampaignConfig, CampaignResult
+from repro.topology.isp_data import FIGURE1_ISPS
+
+#: Campaign used by the §4 analyses: Figure 1's nine ISPs, Battle-for-the-
+#: Net-era burst behaviour, a month of tests.
+MAY2015_CAMPAIGN = CampaignConfig(
+    seed=7,
+    days=28,
+    total_tests=60_000,
+    orgs=FIGURE1_ISPS,
+    burst_prob=0.35,
+)
+
+
+@dataclass
+class AnalyzedCampaign:
+    """A campaign with matching and MAP-IT already applied."""
+
+    campaign: CampaignResult
+    matched_pairs: list[tuple[NDTRecord, TracerouteRecord]]
+    mapit_result: MapItResult
+
+
+_campaign_cache: dict[tuple, AnalyzedCampaign] = {}
+_coverage_cache: dict[tuple, dict[str, CoverageReport]] = {}
+
+
+def analyzed_campaign(
+    study: Study, campaign_config: CampaignConfig | None = None
+) -> AnalyzedCampaign:
+    """Run (once) a campaign plus matching plus MAP-IT."""
+    if campaign_config is None:
+        campaign_config = MAY2015_CAMPAIGN
+    key = (study.config, campaign_config)
+    cached = _campaign_cache.get(key)
+    if cached is not None:
+        return cached
+
+    result = study.run_campaign(campaign_config)
+    report = match_ndt_to_traceroutes(result.ndt_records, result.traceroute_records)
+    traces_by_id = {t.trace_id: t for t in result.traceroute_records}
+    matched_pairs = [
+        (record, traces_by_id[report.matched[record.test_id]])
+        for record in result.ndt_records
+        if record.test_id in report.matched
+    ]
+    mapit = MapIt(study.oracle, study.internet.graph, MapItConfig())
+    mapit_result = mapit.infer([t.router_hop_ips() for _r, t in matched_pairs])
+    analyzed = AnalyzedCampaign(
+        campaign=result, matched_pairs=matched_pairs, mapit_result=mapit_result
+    )
+    _campaign_cache[key] = analyzed
+    return analyzed
+
+
+def coverage_reports(
+    study: Study,
+    alexa_count: int = 500,
+    max_prefixes: int | None = None,
+) -> dict[str, CoverageReport]:
+    """Per-VP §5 coverage reports (bdrmap + M-Lab + Speedtest + Alexa)."""
+    key = (study.config, alexa_count, max_prefixes)
+    cached = _coverage_cache.get(key)
+    if cached is not None:
+        return cached
+
+    engine = study.traceroute_engine
+    internet = study.internet
+    mlab_targets = [(s.ip, s.asn, s.city) for s in study.mlab.servers()]
+    speedtest_targets = [(s.ip, s.asn, s.city) for s in study.speedtest.servers()]
+    alexa_targets = [
+        (t.ip, t.asn, t.city) for t in study.alexa_targets(count=alexa_count)
+    ]
+
+    reports: dict[str, CoverageReport] = {}
+    for vp in study.ark_vps():
+        bdrmap_traces = collect_bdrmap_traces(internet, vp, engine, max_prefixes=max_prefixes)
+        platform_traces = {
+            "mlab": collect_target_traces(internet, vp, engine, mlab_targets, "mlab"),
+            "speedtest": collect_target_traces(
+                internet, vp, engine, speedtest_targets, "speedtest"
+            ),
+            "alexa": collect_target_traces(internet, vp, engine, alexa_targets, "alexa"),
+        }
+        reports[vp.label] = coverage_analysis(
+            internet, vp, bdrmap_traces, platform_traces, study.oracle
+        )
+    _coverage_cache[key] = reports
+    return reports
+
+
+def clear_caches() -> None:
+    """Drop memoized campaign/coverage products."""
+    _campaign_cache.clear()
+    _coverage_cache.clear()

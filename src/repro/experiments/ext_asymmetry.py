@@ -1,0 +1,80 @@
+"""Extension (§5.1): forward/reverse path asymmetry.
+
+The coverage methodology only sees paths *from* the Ark VPs outward; the
+paper defends this with Sánchez et al. [36]: "path asymmetry at the
+AS-level is significantly less pronounced than at the router-level". This
+experiment measures both asymmetries in our world directly — we can
+compute the reverse path, which real traceroute cannot — for VP↔server
+and VP↔content pairs:
+
+* **AS-level symmetric**: the reverse AS path is the mirror of the
+  forward one (org-collapsed);
+* **router-level symmetric**: the same interconnects are crossed in both
+  directions.
+
+Expected shape: AS symmetry high (valley-free best paths are often
+reciprocal), router symmetry markedly lower (hot-potato picks different
+exits per direction) — which is exactly why the paper's AS-level coverage
+claims survive one-directional measurement while router-level claims need
+bdrmap-style server-side support.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Study, build_study
+from repro.experiments.base import ExperimentResult
+
+
+def run(study: Study | None = None, max_pairs: int = 400) -> ExperimentResult:
+    if study is None:
+        study = build_study()
+    forwarder = study.forwarder
+    oracle = study.oracle
+
+    vps = study.ark_vps()
+    targets = [(s.asn, s.city, "mlab") for s in study.mlab.servers()[:15]]
+    targets += [(t.asn, t.city, "alexa") for t in study.alexa_targets(count=15)]
+
+    rows_by_kind = {
+        "mlab": {"pairs": 0, "as_sym": 0, "router_sym": 0},
+        "alexa": {"pairs": 0, "as_sym": 0, "router_sym": 0},
+    }
+    examined = 0
+    for vp in vps:
+        for asn, city, kind in targets:
+            if examined >= max_pairs:
+                break
+            forward = forwarder.route_flow(vp.asn, vp.city, asn, city, ("fwd", vp.code, asn))
+            reverse = forwarder.route_flow(asn, city, vp.asn, vp.city, ("rev", vp.code, asn))
+            if forward is None or reverse is None:
+                continue
+            examined += 1
+            stats = rows_by_kind[kind]
+            stats["pairs"] += 1
+            forward_orgs = [oracle.canonical(a) for a in forward.as_path]
+            reverse_orgs = [oracle.canonical(a) for a in reverse.as_path]
+            if forward_orgs == list(reversed(reverse_orgs)):
+                stats["as_sym"] += 1
+            if set(forward.crossed_links) == set(reverse.crossed_links):
+                stats["router_sym"] += 1
+
+    rows = []
+    notes: dict[str, object] = {
+        "paper_context": "[36]: AS-level asymmetry much weaker than router-level — "
+        "the premise behind §5.1's one-directional methodology",
+    }
+    for kind, stats in rows_by_kind.items():
+        pairs = stats["pairs"]
+        as_frac = stats["as_sym"] / pairs if pairs else 0.0
+        router_frac = stats["router_sym"] / pairs if pairs else 0.0
+        rows.append([kind, pairs, round(as_frac, 3), round(router_frac, 3)])
+        notes[f"{kind}_as_symmetric"] = round(as_frac, 3)
+        notes[f"{kind}_router_symmetric"] = round(router_frac, 3)
+
+    return ExperimentResult(
+        experiment_id="ext-asym",
+        title="Forward/reverse path symmetry at AS vs router level",
+        headers=["target set", "pairs", "AS-level symmetric", "router-level symmetric"],
+        rows=rows,
+        notes=notes,
+    )

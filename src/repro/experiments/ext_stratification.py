@@ -1,0 +1,107 @@
+"""Extension (§7): stratified re-analysis of the diurnal aggregates.
+
+The paper recommends "more careful stratification of test results" to
+separate sample-mix effects from path effects. This experiment compares,
+for the two Figure 5 aggregates and a deliberately biased variant:
+
+* the **naive** relative peak drop of the raw hourly medians (the M-Lab
+  method);
+* the **stratified** drop: clients binned by estimated plan tier,
+  throughput normalized per tier, hours combined at a fixed tier mix;
+* a **Mann-Whitney** one-sided significance test (peak < off-peak) on the
+  raw samples, the error bar the original reports never carried.
+
+Expected shapes: AT&T's collapse survives stratification (it is a path
+effect); a synthetic sample-mix bias — evening samples drawn from the
+slowest plan tier — produces a large *naive* dip that stratification
+removes.
+"""
+
+from __future__ import annotations
+
+from repro.core.congestion import diurnal_series
+from repro.core.pipeline import Study, build_study
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig5_diurnal import FIG5_CAMPAIGN, SOURCE_ORG
+from repro.experiments.common import analyzed_campaign
+from repro.stats.significance import mann_whitney_u
+from repro.stats.stratification import estimate_plan_tiers, stratify
+
+
+def run(study: Study | None = None) -> ExperimentResult:
+    if study is None:
+        study = build_study()
+    analyzed = analyzed_campaign(study, FIG5_CAMPAIGN)
+    source = study.oracle.canonical(study.internet.as_named(SOURCE_ORG).asn)
+
+    rows = []
+    notes: dict[str, object] = {}
+    for org in ("ATT", "Comcast"):
+        records = [
+            r
+            for r in analyzed.campaign.ndt_records
+            if r.gt_client_org == org
+            and study.oracle.canonical(r.server_asn) == source
+        ]
+        naive_drop = diurnal_series(records).relative_peak_drop()
+        stratified = stratify(records)
+        stratified_drop = stratified.utilization_drop()
+        peak = [r.download_mbps for r in records if 19 <= r.local_hour <= 22]
+        off = [r.download_mbps for r in records if 9 <= r.local_hour <= 16]
+        test = mann_whitney_u(peak, off)
+        rows.append(
+            [
+                f"{SOURCE_ORG}->{org}",
+                len(records),
+                round(naive_drop, 3),
+                round(stratified_drop, 3),
+                f"{test.p_value:.2e}",
+                test.significant(),
+            ]
+        )
+        notes[f"{org}_naive_drop"] = round(naive_drop, 3)
+        notes[f"{org}_stratified_drop"] = round(stratified_drop, 3)
+        notes[f"{org}_peak_lower_p"] = float(f"{test.p_value:.3e}")
+
+    # Synthetic sample-mix bias: take the Comcast aggregate and keep only
+    # slow-tier tests in the evening and fast-tier tests at midday — the
+    # §6.1 nightmare sample. Naive analysis sees a collapse; stratification
+    # must see through it.
+    comcast = [
+        r
+        for r in analyzed.campaign.ndt_records
+        if r.gt_client_org == "Comcast"
+        and study.oracle.canonical(r.server_asn) == source
+    ]
+    tiers = estimate_plan_tiers(comcast)
+    median_tier = sorted(tiers.values())[len(tiers) // 2]
+    biased = []
+    for record in comcast:
+        fast = tiers[record.client_ip] >= median_tier
+        if 18 <= record.local_hour <= 23 and not fast:
+            biased.append(record)
+        elif record.local_hour < 18 and fast:
+            biased.append(record)
+    if len(biased) >= 100:
+        naive_biased = diurnal_series(biased).relative_peak_drop()
+        stratified_biased = stratify(biased).utilization_drop()
+        rows.append(
+            [
+                "Comcast (mix-biased sample)",
+                len(biased),
+                round(naive_biased, 3),
+                round(stratified_biased, 3),
+                "-",
+                "-",
+            ]
+        )
+        notes["biased_naive_drop"] = round(naive_biased, 3)
+        notes["biased_stratified_drop"] = round(stratified_biased, 3)
+
+    return ExperimentResult(
+        experiment_id="ext-strat",
+        title="Stratified diurnal analysis: path effects vs sample-mix effects",
+        headers=["aggregate", "tests", "naive drop", "stratified drop", "p(peak<off)", "significant"],
+        rows=rows,
+        notes=notes,
+    )

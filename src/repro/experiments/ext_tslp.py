@@ -1,0 +1,73 @@
+"""Extension (§7): TSLP congestion detection on interconnects.
+
+The paper recommends deploying TSLP (Luckie et al. [25]) on lightweight
+platforms to localize congestion without bulk transfers. This experiment
+runs the prober from an Ark VP toward every Level3/GTT/Cogent/TATA border
+of the big access ISPs and scores the level-shift verdicts against ground
+truth — demonstrating that the low-impact technique finds exactly the
+links the NDT diurnal analysis can only gesture at.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Study, build_study
+from repro.experiments.base import ExperimentResult
+from repro.measurement.tslp import TSLPProber, detect_level_shift
+from repro.platforms.ark import make_ark_vps
+
+PROBE_ORGS = ("ATT", "Verizon", "Comcast", "TimeWarnerCable", "Cox")
+CARRIERS = ("GTT", "TATA", "Cogent", "Level3")
+
+
+def run(study: Study | None = None) -> ExperimentResult:
+    if study is None:
+        study = build_study()
+    internet = study.internet
+    prober = TSLPProber(internet, study.links, study.forwarder, seed=study.config.seed)
+    vp = make_ark_vps(internet)[0]
+
+    rows = []
+    tp = fp = fn = tn = 0
+    for carrier_name in CARRIERS:
+        carrier = internet.as_named(carrier_name)
+        for org_name in PROBE_ORGS:
+            org = internet.as_named(org_name)
+            links = internet.fabric.links_between(carrier.asn, org.asn)
+            for link in links[:4]:  # a few borders per pair keep this quick
+                series = prober.probe_day(vp.asn, vp.city, link)
+                verdict = detect_level_shift(series)
+                truth = study.links.params(link.link_id).congested
+                if verdict.congested and truth:
+                    tp += 1
+                elif verdict.congested and not truth:
+                    fp += 1
+                elif truth:
+                    fn += 1
+                else:
+                    tn += 1
+                rows.append(
+                    [
+                        f"{carrier_name}-{org_name}",
+                        link.city_code,
+                        round(verdict.offpeak_floor_ms, 1),
+                        round(verdict.peak_floor_ms, 1),
+                        round(verdict.shift_ms, 1),
+                        verdict.congested,
+                        truth,
+                    ]
+                )
+
+    precision = tp / (tp + fp) if tp + fp else 1.0
+    recall = tp / (tp + fn) if tp + fn else 1.0
+    return ExperimentResult(
+        experiment_id="ext-tslp",
+        title="TSLP level-shift detection on carrier↔access borders",
+        headers=["border", "metro", "off floor ms", "peak floor ms", "shift", "verdict", "truth"],
+        rows=rows,
+        notes={
+            "precision": round(precision, 3),
+            "recall": round(recall, 3),
+            "links_probed": tp + fp + fn + tn,
+            "paper_context": "§7 recommends TSLP for platforms that cannot run NDT-scale transfers",
+        },
+    )

@@ -1,0 +1,80 @@
+"""Table 2 / §4.3: interdomain link diversity behind one server's tests.
+
+The paper picks one server (atl01, hosted by Level3 in Atlanta) and shows
+that its NDT tests toward six access ISPs crossed many distinct IP-level
+interconnects — 14 links to AT&T, 39 to Cox (of which DNS names reveal
+large parallel groups on single routers in Dallas/San Jose/DC/LA), three
+Comcast sibling ASNs, links in several metros. We reproduce the entire
+workflow: matched traces through MAP-IT, per-client-ASN link usage counts,
+and reverse-DNS grouping of parallel links.
+"""
+
+from __future__ import annotations
+
+from repro.core.assumptions import link_diversity
+from repro.core.pipeline import Study, build_study
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import analyzed_campaign
+
+SERVER_ORG = "Level3"
+CLIENT_ISPS = ("Comcast", "ATT", "Verizon", "Cox", "Frontier", "CenturyLink")
+
+
+def run(study: Study | None = None) -> ExperimentResult:
+    if study is None:
+        study = build_study()
+    analyzed = analyzed_campaign(study)
+    level3 = study.oracle.canonical(study.internet.as_named(SERVER_ORG).asn)
+
+    # The paper restricts to one server; we restrict to the server org —
+    # our fabric realizes the same phenomenon (multi-metro multi-link
+    # AS adjacency) at the org aggregation the report used.
+    reports = link_diversity(
+        analyzed.matched_pairs,
+        analyzed.mapit_result,
+        study.oracle,
+        server_org_asn=level3,
+        server_label=SERVER_ORG,
+        rdns=study.internet.rdns,
+        org_names=study.org_names,
+    )
+
+    rows = []
+    notes: dict[str, object] = {
+        "paper_cox_links": 39,
+        "paper_att_links": 14,
+        "paper_comcast_as_links": 18,
+        "paper_comcast_ip_links": 30,
+    }
+    for isp in CLIENT_ISPS:
+        report = reports.get(isp)
+        if report is None:
+            rows.append([isp, "-", 0, 0, "-", "-"])
+            continue
+        for client_asn, usages in sorted(report.usages_by_client_asn.items()):
+            tests = report.tests_per_link(client_asn)
+            shown = ",".join(str(t) for t in tests[:8])
+            if len(tests) > 8:
+                shown += f",... (max {tests[0]})"
+            cities = sorted(
+                {u.dns_city for u in usages if u.dns_city is not None}
+            )
+            rows.append(
+                [isp, f"AS{client_asn}", len(usages), sum(tests), shown, ",".join(cities)]
+            )
+        groups = report.dns_parallel_groups()
+        parallel = sorted((count for count in groups.values() if count > 1), reverse=True)
+        notes[f"{isp}_total_links"] = report.total_links()
+        if parallel:
+            notes[f"{isp}_parallel_groups"] = ",".join(str(c) for c in parallel)
+
+    comcast = reports.get("Comcast")
+    if comcast is not None:
+        notes["comcast_sibling_asns_observed"] = len(comcast.usages_by_client_asn)
+    return ExperimentResult(
+        experiment_id="tab2",
+        title=f"Interdomain links from {SERVER_ORG} servers to top ISPs (tests per link)",
+        headers=["ISP", "client ASN", "# links", "tests", "tests per link", "DNS metros"],
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,100 @@
+"""Simulated alias resolution.
+
+bdrmap's collection phase resolves which interface addresses sit on the
+same physical router (MIDAR/iffinder-style probing from the VP). We model
+that *measurement tool*: it groups the observed interfaces of each true
+router with a configurable recall — a router whose probing fails splits
+into multiple inferred "routers" — and an optional false-merge rate.
+
+Like the traceroute engine, this module may read generator ground truth
+(it simulates an instrument operating on the real network); inference
+algorithms only ever see its *output*.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.topology.internet import Internet
+from repro.util.rng import derive_random
+
+
+@dataclass(frozen=True)
+class AliasResolution:
+    """Result: every input address mapped to an inferred router id."""
+
+    group_of: dict[int, int]
+
+    def group(self, ip: int) -> int:
+        """Inferred router id of an address (addresses never probed get
+        singleton groups keyed by their own value, negated to avoid
+        clashing with real group ids)."""
+        return self.group_of.get(ip, -ip)
+
+    def group_count(self) -> int:
+        return len(set(self.group_of.values()))
+
+
+class AliasResolver:
+    """Alias resolution with imperfect recall.
+
+    ``recall`` is the probability that a true router's observed interfaces
+    are fully merged; failures split the interface set into two inferred
+    routers. ``false_merge_rate`` merges a random pair of distinct routers'
+    groups (rare in practice; zero by default).
+    """
+
+    def __init__(
+        self,
+        internet: Internet,
+        recall: float = 0.90,
+        false_merge_rate: float = 0.0,
+        seed: int = 7,
+    ) -> None:
+        if not 0.0 <= recall <= 1.0:
+            raise ValueError(f"recall out of range: {recall}")
+        self._internet = internet
+        self._recall = recall
+        self._false_merge_rate = false_merge_rate
+        self._seed = seed
+
+    def resolve(self, ips: list[int] | set[int]) -> AliasResolution:
+        rng = derive_random(self._seed, "alias")
+        by_router: dict[int, list[int]] = defaultdict(list)
+        unknown: list[int] = []
+        for ip in sorted(set(ips)):
+            iface = self._internet.fabric.interface(ip)
+            if iface is None:
+                unknown.append(ip)
+            else:
+                by_router[iface.router_id].append(ip)
+
+        group_of: dict[int, int] = {}
+        next_group = 1
+        groups: list[list[int]] = []
+        for router_id in sorted(by_router):
+            members = by_router[router_id]
+            if len(members) > 1 and rng.random() >= self._recall:
+                split = rng.randint(1, len(members) - 1)
+                parts = [members[:split], members[split:]]
+            else:
+                parts = [members]
+            for part in parts:
+                for ip in part:
+                    group_of[ip] = next_group
+                groups.append(part)
+                next_group += 1
+        for ip in unknown:
+            group_of[ip] = next_group
+            groups.append([ip])
+            next_group += 1
+
+        if self._false_merge_rate > 0 and len(groups) > 1:
+            merges = int(round(self._false_merge_rate * len(groups)))
+            for _ in range(merges):
+                a, b = rng.sample(range(len(groups)), 2)
+                target = group_of[groups[a][0]]
+                for ip in groups[b]:
+                    group_of[ip] = target
+        return AliasResolution(group_of=group_of)

@@ -1,0 +1,182 @@
+"""AS relationship inference from observed AS paths (CAIDA AS-rank style).
+
+Both MAP-IT and bdrmap consume AS-relationship data; the paper uses
+CAIDA's AS-rank inferences [12]. Real AS-rank infers relationships from
+public BGP paths, so a complete reproduction must be able to *derive*
+that input rather than consume ground truth. This module implements the
+classic two-stage algorithm (Gao 2001, refined by Luckie et al. 2013's
+degree-ranked pass):
+
+1. **Rank** ASes by transit degree (number of distinct neighbours they
+   appear to provide transit between) — a proxy for position in the
+   hierarchy; the valley-free assumption then implies that on any path
+   the relationships climb to exactly one top provider and descend after.
+2. **Annotate**: for each adjacent pair on each path, the side nearer the
+   path's top is the provider; pairs *at* the top between similarly
+   ranked ASes are peer candidates. Votes across the corpus decide, with
+   customer evidence dominating (a single path showing A transiting for B
+   through C proves C serves A, whereas peer evidence is only absence of
+   transit).
+
+The output mirrors CAIDA's serial-1 file: per AS pair, ``p2c`` or
+``p2p``. Validation against generator ground truth lives in the
+``val-asrank`` experiment.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.topology.asgraph import Relationship
+
+
+@dataclass(frozen=True)
+class InferredRelationship:
+    """One inferred AS-pair relationship.
+
+    ``provider``/``customer`` are meaningful only for p2c; for p2p both
+    fields hold the (low, high) pair.
+    """
+
+    a: int
+    b: int
+    kind: str  # "p2c" (a provides b) or "p2p"
+
+    def pair(self) -> tuple[int, int]:
+        return (self.a, self.b) if self.a < self.b else (self.b, self.a)
+
+
+@dataclass
+class ASRankResult:
+    """All inferred relationships plus the transit-degree ranking."""
+
+    relationships: dict[tuple[int, int], InferredRelationship]
+    transit_degree: dict[int, int]
+
+    def relationship(self, a: int, b: int) -> Relationship | None:
+        """Relationship of ``b`` from ``a``'s perspective (None = unknown)."""
+        key = (a, b) if a < b else (b, a)
+        inferred = self.relationships.get(key)
+        if inferred is None:
+            return None
+        if inferred.kind == "p2p":
+            return Relationship.PEER
+        if inferred.a == a:
+            return Relationship.CUSTOMER  # a provides b → b is a's customer
+        return Relationship.PROVIDER
+
+    def counts(self) -> dict[str, int]:
+        tally = Counter(r.kind for r in self.relationships.values())
+        return dict(tally)
+
+
+class ASRank:
+    """Infers relationships from a corpus of AS paths.
+
+    ``peer_rank_ratio`` bounds how different two top-of-path ASes' transit
+    degrees may be while still being called peers — a pair where one side
+    dwarfs the other is far more likely provider/customer even without
+    direct transit evidence.
+    """
+
+    def __init__(self, peer_rank_ratio: float = 10.0) -> None:
+        if peer_rank_ratio < 1.0:
+            raise ValueError("peer_rank_ratio must be >= 1")
+        self._peer_rank_ratio = peer_rank_ratio
+
+    def infer(self, paths: Iterable[Sequence[int]]) -> ASRankResult:
+        cleaned = [self._sanitize(path) for path in paths]
+        cleaned = [path for path in cleaned if len(path) >= 2]
+
+        transit_degree = self._transit_degrees(cleaned)
+        provider_votes: Counter[tuple[int, int]] = Counter()  # (provider, customer)
+        #: Pairs seen strictly inside a climb or descent: definite transit
+        #: (a peer edge can only ever sit at a path's summit).
+        interior: set[tuple[int, int]] = set()
+        adjacency_seen: set[tuple[int, int]] = set()
+
+        for path in cleaned:
+            for index in range(len(path) - 1):
+                adjacency_seen.add(self._ordered(path[index], path[index + 1]))
+            if len(path) < 3:
+                continue  # a 2-AS path carries no directional evidence
+            top_index = max(
+                range(len(path)), key=lambda i: (transit_degree.get(path[i], 0), -i)
+            )
+            for index in range(len(path) - 1):
+                near, far = path[index], path[index + 1]
+                pair = self._ordered(near, far)
+                if index + 1 < top_index:
+                    provider_votes[(far, near)] += 1  # interior climb
+                    interior.add(pair)
+                elif index + 1 == top_index:
+                    provider_votes[(far, near)] += 1  # summit-adjacent (weak)
+                if index > top_index:
+                    provider_votes[(near, far)] += 1  # interior descent
+                    interior.add(pair)
+                elif index == top_index:
+                    provider_votes[(near, far)] += 1  # summit-adjacent (weak)
+
+        relationships: dict[tuple[int, int], InferredRelationship] = {}
+        for a, b in sorted(adjacency_seen):
+            down = provider_votes.get((a, b), 0)  # a provides b
+            up = provider_votes.get((b, a), 0)  # b provides a
+            degree_a = transit_degree.get(a, 0)
+            degree_b = transit_degree.get(b, 0)
+            comparable = self._comparable(degree_a, degree_b)
+            if (a, b) in interior:
+                # Definite transit relationship; direction by majority.
+                if down >= up:
+                    relationships[(a, b)] = InferredRelationship(a, b, "p2c")
+                else:
+                    relationships[(a, b)] = InferredRelationship(b, a, "p2c")
+            elif comparable:
+                # Only ever summit-adjacent, similar rank: settlement-free.
+                relationships[(a, b)] = InferredRelationship(a, b, "p2p")
+            else:
+                # Summit-adjacent but wildly different rank: the big one
+                # almost certainly sells transit to the small one.
+                if degree_a > degree_b:
+                    relationships[(a, b)] = InferredRelationship(a, b, "p2c")
+                else:
+                    relationships[(a, b)] = InferredRelationship(b, a, "p2c")
+        return ASRankResult(relationships=relationships, transit_degree=transit_degree)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _ordered(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def _comparable(self, degree_a: int, degree_b: int) -> bool:
+        low = max(1, min(degree_a, degree_b))
+        high = max(degree_a, degree_b, 1)
+        return high / low <= self._peer_rank_ratio
+
+    @staticmethod
+    def _sanitize(path: Sequence[int]) -> list[int]:
+        """Strip prepending (consecutive duplicates) and loops."""
+        cleaned: list[int] = []
+        for asn in path:
+            if cleaned and cleaned[-1] == asn:
+                continue
+            cleaned.append(asn)
+        if len(set(cleaned)) != len(cleaned):
+            return []  # looped path: poisoned measurement, drop it
+        return cleaned
+
+    @staticmethod
+    def _transit_degrees(paths: list[list[int]]) -> dict[int, int]:
+        """Distinct neighbour pairs each AS appears between (transit degree)."""
+        flanks: dict[int, set[tuple[int, int]]] = defaultdict(set)
+        for path in paths:
+            for index in range(1, len(path) - 1):
+                left, mid, right = path[index - 1], path[index], path[index + 1]
+                flanks[mid].add((left, right) if left < right else (right, left))
+        degrees = {asn: len(pairs) for asn, pairs in flanks.items()}
+        for path in paths:
+            for asn in path:
+                degrees.setdefault(asn, 0)
+        return degrees

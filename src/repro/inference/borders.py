@@ -1,0 +1,96 @@
+"""Shared border-inference utilities.
+
+:class:`OriginOracle` bundles the public lookup data every inference
+algorithm starts from: longest-prefix-match origin (as from BGP), sibling
+collapse (as from AS-to-Organization data), and IXP address screening (as
+from PeeringDB/PCH prefix lists). None of this is ground truth — the LPM
+origin of a border interface can point at the wrong network, which is the
+whole problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.addressing import Prefix, PrefixTable
+from repro.topology.orgs import OrgMap
+
+
+class OriginOracle:
+    """Public address→AS lookups with sibling collapse and IXP screening."""
+
+    def __init__(
+        self,
+        prefix_table: PrefixTable,
+        org_map: OrgMap | None = None,
+        ixp_prefixes: tuple[Prefix, ...] | list[Prefix] = (),
+    ) -> None:
+        self._prefix_table = prefix_table
+        self._org_map = org_map
+        self._ixp_prefixes = tuple(ixp_prefixes)
+        self._origin_cache: dict[int, int | None] = {}
+        self._ixp_cache: dict[int, bool] = {}
+
+    def origin(self, ip: int) -> int | None:
+        """Org-canonical origin ASN per longest-prefix match, or None.
+
+        IXP addresses return None: their LPM origin (the IXP's own
+        allocation) identifies no participant network.
+        """
+        cached = self._origin_cache.get(ip, _MISSING)
+        if cached is not _MISSING:
+            return cached  # type: ignore[return-value]
+        if self.is_ixp(ip):
+            origin: int | None = None
+        else:
+            asn = self._prefix_table.origin_asn(ip)
+            if asn is None:
+                origin = None
+            elif self._org_map is not None:
+                origin = self._org_map.canonical_asn(asn)
+            else:
+                origin = asn
+        self._origin_cache[ip] = origin
+        return origin
+
+    def origin_raw(self, ip: int) -> int | None:
+        """Origin ASN per longest-prefix match, *without* sibling collapse.
+
+        Table 2 reports client ASNs as registered (Comcast's AS7922,
+        AS7725, AS22909 are separate rows), so the per-sibling view
+        matters even though hop ownership analysis collapses them.
+        """
+        if self.is_ixp(ip):
+            return None
+        return self._prefix_table.origin_asn(ip)
+
+    def is_ixp(self, ip: int) -> bool:
+        cached = self._ixp_cache.get(ip)
+        if cached is None:
+            cached = any(prefix.contains(ip) for prefix in self._ixp_prefixes)
+            self._ixp_cache[ip] = cached
+        return cached
+
+    def canonical(self, asn: int) -> int:
+        """Collapse an ASN to its organization's canonical ASN."""
+        if self._org_map is None:
+            return asn
+        return self._org_map.canonical_asn(asn)
+
+    def same_org(self, a: int, b: int) -> bool:
+        if self._org_map is None:
+            return a == b
+        return self._org_map.are_siblings(a, b)
+
+    def org_members(self, asn: int) -> set[int]:
+        """All sibling ASNs of ``asn``'s organization (including itself)."""
+        if self._org_map is None:
+            return {asn}
+        return self._org_map.siblings(asn)
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

@@ -1,0 +1,380 @@
+"""MAP-IT: multipass inference of interdomain links from traceroutes.
+
+Reimplementation of the algorithm of Marder & Smith, "MAP-IT: Multipass
+Accurate Passive Inferences from Traceroute" (IMC 2016), as used by the
+paper in §4.2/§4.3. The core insight: a single traceroute cannot place an
+AS boundary (border interfaces are numbered from *either* endpoint's /30
+or /31 prefix), but collating the neighbor sets of every interface across
+a corpus — together with prefix→AS data, sibling organizations, AS
+relationships, and IXP prefixes — can.
+
+Ownership refinement runs in passes until a fixed point:
+
+* every non-IXP interface starts owned by its longest-prefix-match origin
+  (sibling-collapsed); IXP addresses stay unowned throughout and are
+  collapsed during link extraction;
+* **boundary rule** — an interface whose predecessor majority A and
+  successor majority B disagree sits on an interdomain link; if its own
+  address origin equals one side, it is reassigned to the *other* side,
+  but only when it has a point-to-point partner (a neighbor in the same
+  /30–/31, numbered from the same prefix) — the signature of a border
+  /31 lent by one endpoint. The partner precondition is what keeps the
+  boundary from "creeping" into the neighbor AS's core on later passes;
+* **agreement rule** — both sides agreeing on an owner different from the
+  current assignment reverts earlier mistakes (MAP-IT's correction for
+  low-visibility misinference);
+* a flip creating a boundary between networks with no known relationship
+  is rejected when an AS-relationship oracle is available.
+
+Finally, adjacent trace pairs with different corrected owners become
+inferred interdomain IP links, and runs of IXP addresses are collapsed
+into IXP-mediated links between the surrounding networks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.inference.borders import OriginOracle
+from repro.topology.asgraph import ASGraph
+
+def _same_ptp_subnet(a: int, b: int) -> bool:
+    """True when two addresses form a point-to-point pair.
+
+    Either the two addresses of an aligned /31, or the two usable middle
+    addresses of a /30 (base+1, base+2).
+    """
+    if a >> 1 == b >> 1:
+        return True
+    if a >> 2 == b >> 2:
+        low = min(a, b) & 0x3
+        high = max(a, b) & 0x3
+        return (low, high) == (1, 2)
+    return False
+
+
+@dataclass(frozen=True)
+class MapItConfig:
+    #: Neighbour-majority fraction required to act on a signal.
+    majority_threshold: float = 0.5
+    #: Upper bound on refinement passes (fixed point is typical long before).
+    max_passes: int = 10
+    #: Minimum times an adjacent pair must be seen to report an IP link.
+    min_link_observations: int = 1
+    #: An interface flipped this many times is frozen — persistent
+    #: flip-flopping means the evidence is contradictory.
+    max_flips_per_interface: int = 3
+
+
+@dataclass(frozen=True)
+class InferredLink:
+    """An inferred interdomain IP link.
+
+    ``near_ip``/``far_ip`` are in trace direction; ``near_asn``/``far_asn``
+    are the corrected owners (org-canonical). ``via_ixp`` marks links
+    recovered by collapsing an IXP-addressed hop run.
+    """
+
+    near_ip: int
+    far_ip: int
+    near_asn: int
+    far_asn: int
+    observations: int
+    via_ixp: bool = False
+
+    def ip_pair(self) -> tuple[int, int]:
+        return (self.near_ip, self.far_ip) if self.near_ip < self.far_ip else (self.far_ip, self.near_ip)
+
+    def as_pair(self) -> tuple[int, int]:
+        return (self.near_asn, self.far_asn) if self.near_asn < self.far_asn else (self.far_asn, self.near_asn)
+
+
+@dataclass
+class MapItResult:
+    """Corrected ownership plus the inferred link set."""
+
+    ownership: dict[int, int | None]
+    links: list[InferredLink]
+    passes_used: int
+    flips: int
+
+    def link_by_ip_pair(self) -> dict[tuple[int, int], InferredLink]:
+        return {link.ip_pair(): link for link in self.links}
+
+    def annotate_trace(self, ips: list[int | None]) -> list[tuple[int, InferredLink]]:
+        """Interdomain crossings in one trace: (hop index of far side, link).
+
+        ``ips`` is a TTL-ordered hop list (None for non-responses); only
+        adjacent responding pairs are matched against the inferred links.
+        """
+        by_pair = self.link_by_ip_pair()
+        crossings: list[tuple[int, InferredLink]] = []
+        for index in range(1, len(ips)):
+            a, b = ips[index - 1], ips[index]
+            if a is None or b is None:
+                continue
+            pair = (a, b) if a < b else (b, a)
+            link = by_pair.get(pair)
+            if link is not None:
+                crossings.append((index, link))
+        return crossings
+
+
+class MapIt:
+    """The inference engine. One instance is reusable across corpora."""
+
+    def __init__(
+        self,
+        oracle: OriginOracle,
+        graph: ASGraph | None = None,
+        config: MapItConfig | None = None,
+    ) -> None:
+        self._oracle = oracle
+        self._graph = graph
+        self._config = config if config is not None else MapItConfig()
+
+    # ------------------------------------------------------------------
+
+    def infer(self, traces: list[list[int | None]]) -> MapItResult:
+        """Run the multipass inference over a corpus of hop sequences.
+
+        Each trace is the TTL-ordered hop list with ``None`` for
+        non-responses. Only *adjacent* responding hops form evidence pairs:
+        a pair spanning a silent router could bridge two networks that are
+        not actually adjacent, which is exactly the traceroute artifact
+        MAP-IT refuses to build on.
+        """
+        succs: dict[int, Counter[int]] = defaultdict(Counter)
+        preds: dict[int, Counter[int]] = defaultdict(Counter)
+        pair_counts: Counter[tuple[int, int]] = Counter()
+        for trace in traces:
+            for a, b in zip(trace, trace[1:]):
+                if a is None or b is None or a == b:
+                    continue
+                succs[a][b] += 1
+                preds[b][a] += 1
+                pair_counts[(a, b)] += 1
+
+        interfaces = sorted(set(succs) | set(preds))
+        ownership: dict[int, int | None] = {
+            ip: self._oracle.origin(ip) for ip in interfaces
+        }
+
+        passes = 0
+        total_flips = 0
+        flip_counts: Counter[int] = Counter()
+        for passes in range(1, self._config.max_passes + 1):
+            proposals: dict[int, int] = {}
+            for ip in interfaces:
+                if self._oracle.is_ixp(ip):
+                    continue  # IXP addresses stay unowned
+                if flip_counts[ip] >= self._config.max_flips_per_interface:
+                    continue  # frozen: repeated flipping signals ambiguity
+                proposal = self._propose(ip, ownership, preds, succs)
+                if proposal is not None and proposal != ownership[ip]:
+                    proposals[ip] = proposal
+            if not proposals:
+                break
+            ownership.update(proposals)
+            flip_counts.update(proposals.keys())
+            total_flips += len(proposals)
+
+        links = self._extract_links(traces, pair_counts, ownership)
+        return MapItResult(
+            ownership=ownership, links=links, passes_used=passes, flips=total_flips
+        )
+
+    # ------------------------------------------------------------------
+
+    def _majority(
+        self, neighbors: Counter[int], ownership: dict[int, int | None]
+    ) -> tuple[int | None, float]:
+        """(majority owner, fraction) over a neighbor multiset.
+
+        Weighted by observation count: a third-party artifact seen once
+        must not cancel the interface a link's probes normally reveal.
+        """
+        counts: Counter[int] = Counter()
+        total = 0
+        for ip, weight in neighbors.items():
+            owner = ownership.get(ip)
+            if owner is None:
+                continue
+            counts[owner] += weight
+            total += weight
+        if total == 0:
+            return None, 0.0
+        owner, count = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))
+        return owner, count / total
+
+    def _has_ptp_partner(
+        self, ip: int, neighbors: Counter[int], origin: int
+    ) -> bool:
+        """True when a neighbor shares this interface's /30-/31 and origin.
+
+        That neighbor is the other end of the point-to-point border subnet,
+        which is the physical signature licensing a boundary flip.
+        """
+        for other in neighbors:
+            if other == ip:
+                continue
+            if _same_ptp_subnet(ip, other) and self._oracle.origin(other) == origin:
+                return True
+        return False
+
+    def _propose(
+        self,
+        ip: int,
+        ownership: dict[int, int | None],
+        preds: dict[int, Counter[int]],
+        succs: dict[int, Counter[int]],
+    ) -> int | None:
+        origin = self._oracle.origin(ip)
+        current = ownership[ip]
+        pred_set = preds.get(ip, Counter())
+        succ_set = succs.get(ip, Counter())
+        pred_major, pred_frac = self._majority(pred_set, ownership)
+        succ_major, succ_frac = self._majority(succ_set, ownership)
+        threshold = self._config.majority_threshold
+        strong_pred = pred_major is not None and pred_frac > threshold
+        strong_succ = succ_major is not None and succ_frac > threshold
+
+        if not (strong_pred and strong_succ):
+            return None
+
+        # Agreement rule — both directions point at the same owner.
+        if pred_major == succ_major:
+            if pred_major != current and self._plausible(pred_major, origin):
+                return pred_major
+            return None
+
+        # Boundary rule — the interface sits on an interdomain link.
+        if origin is None:
+            return None
+        if origin == pred_major:
+            # Far side of the crossing, numbered from the near AS: the /31
+            # partner is the predecessor border interface.
+            if self._has_ptp_partner(ip, pred_set, origin):
+                candidate = succ_major
+                if candidate != current and self._plausible(candidate, origin):
+                    return candidate
+        elif origin == succ_major:
+            # Near side numbered from the far AS: partner is the successor.
+            if self._has_ptp_partner(ip, succ_set, origin):
+                candidate = pred_major
+                if candidate != current and self._plausible(candidate, origin):
+                    return candidate
+        return None
+
+    def _plausible(self, candidate: int, origin: int | None) -> bool:
+        """Reject flips between networks with no known relationship.
+
+        Canonical ASNs stand for whole organizations, so the relationship
+        test scans every sibling pair — the actual BGP edge may be between
+        non-canonical siblings (e.g. Level3's AS3356 peering with AT&T's
+        AS7018 while the org canonical is AS6389).
+        """
+        if self._graph is None or origin is None or candidate == origin:
+            return True
+        if self._oracle.same_org(candidate, origin):
+            return True
+        for a in self._oracle.org_members(candidate):
+            for b in self._oracle.org_members(origin):
+                if self._graph.relationship(a, b) is not None:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _extract_links(
+        self,
+        traces: list[list[int]],
+        pair_counts: Counter[tuple[int, int]],
+        ownership: dict[int, int | None],
+    ) -> list[InferredLink]:
+        links: dict[tuple[int, int], list] = {}
+
+        def record(a: int, b: int, owner_a: int, owner_b: int, count: int, via_ixp: bool) -> None:
+            key = (a, b) if a < b else (b, a)
+            entry = links.get(key)
+            if entry is None:
+                links[key] = [a, b, owner_a, owner_b, count, via_ixp]
+            else:
+                entry[4] += count
+
+        for (a, b), count in pair_counts.items():
+            owner_a = ownership.get(a)
+            owner_b = ownership.get(b)
+            if owner_a is None or owner_b is None or owner_a == owner_b:
+                continue
+            if self._oracle.same_org(owner_a, owner_b):
+                continue
+            record(a, b, owner_a, owner_b, count, via_ixp=False)
+
+        # Collapse IXP-addressed runs: known(A) → ixp... → known(B). A
+        # non-response resets the run — evidence must be gap-free here too.
+        ixp_triples: Counter[tuple[int, int, int, int]] = Counter()
+        for trace in traces:
+            run_start: int | None = None
+            first_ixp: int | None = None
+            last_ixp: int | None = None
+            for ip in trace:
+                if ip is None:
+                    run_start = None
+                    first_ixp = None
+                    last_ixp = None
+                    continue
+                if self._oracle.is_ixp(ip):
+                    if first_ixp is None:
+                        first_ixp = ip
+                    last_ixp = ip
+                    continue
+                owner = ownership.get(ip)
+                if first_ixp is not None and run_start is not None and owner is not None:
+                    prev_owner = ownership.get(run_start)
+                    if prev_owner is not None and prev_owner != owner:
+                        ixp_triples[(first_ixp, last_ixp, prev_owner, owner)] += 1
+                first_ixp = None
+                last_ixp = None
+                if owner is not None:
+                    run_start = ip
+        for (first_ixp, last_ixp, owner_a, owner_b), count in ixp_triples.items():
+            if self._oracle.same_org(owner_a, owner_b):
+                continue
+            record(first_ixp, last_ixp, owner_a, owner_b, count, via_ixp=True)
+
+        results = [
+            InferredLink(
+                near_ip=a, far_ip=b, near_asn=oa, far_asn=ob, observations=n, via_ixp=ixp
+            )
+            for a, b, oa, ob, n, ixp in links.values()
+            if n >= self._config.min_link_observations
+        ]
+        results = self._consolidate(results)
+        return sorted(results, key=lambda l: (l.as_pair(), l.ip_pair()))
+
+    @staticmethod
+    def _consolidate(links: list[InferredLink]) -> list[InferredLink]:
+        """Drop non-aligned pairs explained by an aligned link.
+
+        A genuine point-to-point crossing shows both addresses of one /31
+        (or /30). Third-party replies inside a parallel-link group pair up
+        interfaces of *different* /31s; when either endpoint of such a pair
+        also participates in a properly aligned inferred link, the aligned
+        link is the physical one and the stray pair is noise.
+        """
+        aligned_endpoints: set[int] = set()
+        for link in links:
+            if link.via_ixp or _same_ptp_subnet(link.near_ip, link.far_ip):
+                aligned_endpoints.add(link.near_ip)
+                aligned_endpoints.add(link.far_ip)
+        kept: list[InferredLink] = []
+        for link in links:
+            aligned = link.via_ixp or _same_ptp_subnet(link.near_ip, link.far_ip)
+            if not aligned and (
+                link.near_ip in aligned_endpoints or link.far_ip in aligned_endpoints
+            ):
+                continue
+            kept.append(link)
+        return kept

@@ -1,0 +1,126 @@
+"""NDT test execution.
+
+One NDT run measures download throughput from a measurement server to a
+client over the server→client forwarding path, through the TCP model. The
+runner does not decide *when* tests happen or *which* server is used —
+that is platform policy (:mod:`repro.platforms.mlab`); it only executes a
+test and emits the record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.measurement.records import NDTRecord
+from repro.net.tcp import TCPModel
+from repro.routing.forwarding import Forwarder, ForwardingPath
+
+
+@dataclass(frozen=True)
+class NDTConfig:
+    """NDT execution constants (currently none beyond the TCP model's)."""
+
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class ClientEndpoint:
+    """What the NDT runner needs to know about the client side of a test."""
+
+    ip: int
+    asn: int
+    org_name: str
+    city: str
+    plan_rate_bps: float
+    home_factor: float
+    access_loss: float
+    #: Provisioned upstream rate; 0 disables the upstream measurement.
+    upload_rate_bps: float = 0.0
+
+
+@dataclass(frozen=True)
+class ServerEndpoint:
+    """A measurement server able to serve NDT tests."""
+
+    server_id: int
+    ip: int
+    asn: int
+    city: str
+
+
+class NDTRunner:
+    """Executes NDT downloads over an Internet + link-state instance."""
+
+    def __init__(self, forwarder: Forwarder, tcp: TCPModel) -> None:
+        self._forwarder = forwarder
+        self._tcp = tcp
+        self._next_test_id = 1
+
+    def run(
+        self,
+        client: ClientEndpoint,
+        server: ServerEndpoint,
+        timestamp_s: float,
+        local_hour: float,
+    ) -> tuple[NDTRecord, ForwardingPath] | None:
+        """Run one download test; None when the server cannot reach the client.
+
+        Returns the record plus the forwarding path the *NDT flow* took —
+        the path is handed back so the platform can launch the associated
+        Paris traceroute (with its own flow key, hence possibly a different
+        ECMP member).
+        """
+        flow_key = ("ndt", self._next_test_id, server.server_id, client.ip)
+        path = self._forwarder.route_flow(
+            server.asn, server.city, client.asn, client.city, flow_key
+        )
+        if path is None:
+            return None
+        observation = self._tcp.observe(
+            path,
+            hour=local_hour,
+            access_rate_bps=client.plan_rate_bps,
+            home_factor=client.home_factor,
+            access_loss=client.access_loss,
+        )
+        # Upstream phase: client → server over the *client's* best path
+        # (forward/reverse routes can differ — §5.1's asymmetry caveat).
+        upload_bps = 0.0
+        if client.upload_rate_bps > 0:
+            upstream_path = self._forwarder.route_flow(
+                client.asn, client.city, server.asn, server.city,
+                ("ndt-up", *flow_key[1:]),
+            )
+            if upstream_path is not None:
+                upstream = self._tcp.observe(
+                    upstream_path,
+                    hour=local_hour,
+                    access_rate_bps=client.upload_rate_bps,
+                    home_factor=client.home_factor,
+                    access_loss=client.access_loss,
+                )
+                upload_bps = upstream.throughput_bps
+        record = NDTRecord(
+            test_id=self._next_test_id,
+            timestamp_s=timestamp_s,
+            local_hour=local_hour,
+            client_ip=client.ip,
+            server_id=server.server_id,
+            server_ip=server.ip,
+            server_asn=server.asn,
+            server_city=server.city,
+            download_bps=observation.throughput_bps,
+            rtt_ms=observation.rtt_ms,
+            retx_rate=observation.retx_rate,
+            congestion_signals=observation.congestion_signals,
+            gt_client_asn=client.asn,
+            gt_client_org=client.org_name,
+            gt_crossed_links=path.crossed_links,
+            gt_bottleneck_link=observation.bottleneck_link_id,
+            gt_bottleneck_kind=observation.bottleneck_kind,
+            rtt_min_ms=observation.rtt_min_ms,
+            rtt_max_ms=observation.rtt_max_ms,
+            upload_bps=upload_bps,
+        )
+        self._next_test_id += 1
+        return record, path

@@ -1,0 +1,96 @@
+"""Measurement records.
+
+Fields prefixed ``gt_`` are ground truth carried along for validation
+experiments; analysis code that mimics what a real analyst could do must
+not read them (the analyses in :mod:`repro.core` take care to only use the
+public fields, and the validation experiments diff their output against
+the ``gt_`` fields).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MBPS
+
+
+@dataclass(frozen=True)
+class NDTRecord:
+    """One NDT download test as logged by the server side."""
+
+    test_id: int
+    #: Absolute campaign time in seconds (campaign starts at local midnight).
+    timestamp_s: float
+    #: Local hour-of-day at the client, in [0, 24).
+    local_hour: float
+    client_ip: int
+    server_id: int
+    server_ip: int
+    server_asn: int
+    server_city: str
+    download_bps: float
+    rtt_ms: float
+    retx_rate: float
+    congestion_signals: int
+    # --- ground truth (validation only) ---
+    gt_client_asn: int
+    gt_client_org: str
+    gt_crossed_links: tuple[int, ...]
+    gt_bottleneck_link: int | None
+    gt_bottleneck_kind: str
+    #: Flow RTT extremes over the transfer — NDT logs the per-ack RTT
+    #: series, so these are part of the public record (used by the TCP
+    #: congestion-signature analysis).
+    rtt_min_ms: float = 0.0
+    rtt_max_ms: float = 0.0
+    #: Upstream (client→server) throughput; 0 when not measured.
+    upload_bps: float = 0.0
+
+    @property
+    def download_mbps(self) -> float:
+        return self.download_bps / MBPS
+
+    @property
+    def upload_mbps(self) -> float:
+        return self.upload_bps / MBPS
+
+
+@dataclass(frozen=True)
+class TraceHop:
+    """One TTL step of a traceroute. ``ip`` is None for a non-response (*)."""
+
+    ttl: int
+    ip: int | None
+    rtt_ms: float | None
+
+
+@dataclass(frozen=True)
+class TracerouteRecord:
+    """A Paris traceroute from a measurement server toward a client."""
+
+    trace_id: int
+    timestamp_s: float
+    src_ip: int
+    src_asn: int
+    dst_ip: int
+    hops: tuple[TraceHop, ...]
+    reached_destination: bool
+    # --- ground truth (validation only) ---
+    gt_crossed_links: tuple[int, ...]
+    gt_as_path: tuple[int, ...]
+
+    def responding_ips(self) -> list[int]:
+        return [hop.ip for hop in self.hops if hop.ip is not None]
+
+    def router_hop_ips(self) -> list[int | None]:
+        """TTL-ordered hop addresses (None for ``*``), destination excluded.
+
+        Border-inference algorithms reason about router interfaces; the
+        destination host's response is not a router hop and would poison
+        adjacency evidence (a last-router→host pair looks like an AS
+        boundary whenever the two sit in different prefixes).
+        """
+        hops = list(self.hops)
+        if self.reached_destination and hops and hops[-1].ip == self.dst_ip:
+            hops = hops[:-1]
+        return [hop.ip for hop in hops]

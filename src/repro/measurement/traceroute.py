@@ -1,0 +1,159 @@
+"""Paris traceroute simulation with realistic artifacts.
+
+A traceroute renders a forwarding path into TTL-indexed hop responses,
+with the pathologies the paper (and Luckie et al. [25]) warn about:
+
+* **non-responding routers** — some routers never answer (rate-limited or
+  filtered); the hop shows ``*``. Responsiveness is a per-router property
+  so the same router is consistently silent across traces.
+* **third-party addresses** — a router may reply from a different
+  interface than the one the probe arrived on (the classic cause of wrong
+  AS attribution); we model it by occasionally substituting another
+  interface of the same router.
+* **unreachable destinations** — many home gateways drop probes, so the
+  trace ends without the destination responding.
+* **flow identity** — Paris traceroute keeps its header fields stable, so
+  *within* the trace all probes follow one path; but its flow key is not
+  the NDT flow's key, so the traceroute may cross a *different* member of
+  an ECMP parallel-link group than the throughput test did — exactly the
+  synchronization artifact of Huang et al. [21] the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.measurement.records import TraceHop, TracerouteRecord
+from repro.routing.forwarding import Forwarder, ForwardingPath
+from repro.topology.geo import city_by_code, propagation_delay_ms
+from repro.topology.internet import Internet
+from repro.util.rng import derive_random
+
+
+@dataclass(frozen=True)
+class TracerouteConfig:
+    """Artifact rates of the traceroute engine."""
+
+    seed: int = 7
+    #: Fraction of routers that never respond to probes.
+    silent_router_fraction: float = 0.05
+    #: Per-hop probability of a one-off non-response from a responsive router.
+    transient_loss_prob: float = 0.02
+    #: Probability a response carries a third-party interface address.
+    third_party_prob: float = 0.04
+    #: Probability the destination host answers the final probe.
+    destination_responds_prob: float = 0.70
+    #: Per-hop RTT measurement jitter (ms, uniform half-width).
+    rtt_jitter_ms: float = 1.2
+
+
+class TracerouteEngine:
+    """Produces :class:`TracerouteRecord` objects over an Internet instance."""
+
+    def __init__(
+        self,
+        internet: Internet,
+        forwarder: Forwarder,
+        config: TracerouteConfig | None = None,
+    ) -> None:
+        self._internet = internet
+        self._forwarder = forwarder
+        self._config = config if config is not None else TracerouteConfig()
+        self._rng = derive_random(self._config.seed, "traceroute")
+        self._silent_routers: set[int] = set()
+        self._silence_decided: set[int] = set()
+        self._next_trace_id = 1
+
+    # ------------------------------------------------------------------
+
+    def trace(
+        self,
+        src_ip: int,
+        src_asn: int,
+        src_city: str,
+        dst_ip: int,
+        dst_asn: int,
+        dst_city: str,
+        timestamp_s: float,
+        flow_key: object,
+    ) -> TracerouteRecord | None:
+        """Run one Paris traceroute; None when the route does not exist."""
+        path = self._forwarder.route_flow(src_asn, src_city, dst_asn, dst_city, flow_key)
+        if path is None:
+            return None
+        return self.trace_along(path, src_ip, dst_ip, dst_city, timestamp_s)
+
+    def trace_along(
+        self,
+        path: ForwardingPath,
+        src_ip: int,
+        dst_ip: int,
+        dst_city: str,
+        timestamp_s: float,
+    ) -> TracerouteRecord:
+        """Render an already-computed forwarding path as a traceroute."""
+        config = self._config
+        hops: list[TraceHop] = []
+        cumulative_ms = 1.0
+        previous_city = path.hops[0].city_code if path.hops else dst_city
+        for ttl, hop in enumerate(path.hops, start=1):
+            if hop.city_code != previous_city:
+                cumulative_ms += 2.0 * propagation_delay_ms(
+                    city_by_code(previous_city), city_by_code(hop.city_code)
+                )
+                previous_city = hop.city_code
+            reply_ip: int | None = hop.reply_ip
+            if self._router_is_silent(hop.router_id) or self._rng.random() < config.transient_loss_prob:
+                reply_ip = None
+            elif self._rng.random() < config.third_party_prob:
+                reply_ip = self._third_party_address(hop.router_id, hop.reply_ip)
+            rtt = None
+            if reply_ip is not None:
+                rtt = max(0.1, cumulative_ms + self._rng.uniform(-1, 1) * config.rtt_jitter_ms)
+            hops.append(TraceHop(ttl=ttl, ip=reply_ip, rtt_ms=rtt))
+
+        reached = self._rng.random() < config.destination_responds_prob
+        if reached:
+            if previous_city != dst_city:
+                cumulative_ms += 2.0 * propagation_delay_ms(
+                    city_by_code(previous_city), city_by_code(dst_city)
+                )
+            hops.append(
+                TraceHop(
+                    ttl=len(hops) + 1,
+                    ip=dst_ip,
+                    rtt_ms=cumulative_ms + self._rng.uniform(0, config.rtt_jitter_ms),
+                )
+            )
+
+        record = TracerouteRecord(
+            trace_id=self._next_trace_id,
+            timestamp_s=timestamp_s,
+            src_ip=src_ip,
+            src_asn=path.src_asn,
+            dst_ip=dst_ip,
+            hops=tuple(hops),
+            reached_destination=reached,
+            gt_crossed_links=path.crossed_links,
+            gt_as_path=path.as_path,
+        )
+        self._next_trace_id += 1
+        return record
+
+    # ------------------------------------------------------------------
+
+    def _router_is_silent(self, router_id: int) -> bool:
+        if router_id not in self._silence_decided:
+            self._silence_decided.add(router_id)
+            # Stable per-router coin flip, independent of probe order.
+            coin = derive_random(self._config.seed, "silent-router", str(router_id))
+            if coin.random() < self._config.silent_router_fraction:
+                self._silent_routers.add(router_id)
+        return router_id in self._silent_routers
+
+    def _third_party_address(self, router_id: int, default_ip: int) -> int:
+        interfaces = self._internet.fabric.interfaces_of(router_id)
+        alternates = [iface.ip for iface in interfaces if iface.ip != default_ip]
+        if not alternates:
+            return default_ip
+        return self._rng.choice(alternates)

@@ -1,0 +1,34 @@
+"""Network performance substrate: diurnal load, link state, TCP model.
+
+This layer turns a :class:`~repro.routing.forwarding.ForwardingPath` plus a
+time-of-day into what an NDT test would observe: achieved throughput, flow
+RTT, loss/retransmission rate, and (as ground truth, for validation only)
+which link actually bottlenecked the flow. Congestion is modelled as
+per-link diurnal utilization profiles; a link whose peak offered load
+exceeds capacity exhibits the loss/queueing collapse that produces the
+paper's Figure 5(a), while a busy-but-provisioned link produces the milder
+20–30% dip of Figure 5(b).
+"""
+
+from repro.net.diurnal import DiurnalProfile, crowdsourced_test_intensity
+from repro.net.link import (
+    CongestionDirective,
+    LinkParams,
+    LinkNetwork,
+    ProvisioningConfig,
+    provision_links,
+)
+from repro.net.tcp import PathObservation, TCPModel, TCPModelConfig
+
+__all__ = [
+    "CongestionDirective",
+    "DiurnalProfile",
+    "LinkNetwork",
+    "LinkParams",
+    "PathObservation",
+    "ProvisioningConfig",
+    "TCPModel",
+    "TCPModelConfig",
+    "crowdsourced_test_intensity",
+    "provision_links",
+]

@@ -1,0 +1,98 @@
+"""Diurnal load shapes.
+
+Internet traffic follows a strong daily cycle: a trough in the early
+morning and a peak in the evening (roughly 20:00–23:00 local). Both the
+paper's congestion-inference method (§3.1, §6) and its sampling-bias
+critique (§6.1, Figure 5 right panels) are about this cycle, so it is the
+single most load-bearing model here. We use a smooth two-bump shape — a
+small daytime shoulder and a dominant evening peak — parameterized enough
+to express both "congested at peak" and "busy but fine" links.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _wrapped_gaussian(hour: float, center: float, width: float) -> float:
+    """Gaussian bump on a 24-hour circle."""
+    delta = abs(hour - center) % 24.0
+    delta = min(delta, 24.0 - delta)
+    return math.exp(-0.5 * (delta / width) ** 2)
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Utilization (or demand) as a smooth function of local hour.
+
+    ``value(hour)`` = ``base`` + ``evening_amplitude`` × evening bump +
+    ``day_amplitude`` × daytime shoulder. For link utilization the result
+    is interpreted as offered load / capacity, and may exceed 1.0 — that is
+    precisely a congested link.
+    """
+
+    base: float
+    evening_amplitude: float
+    evening_peak_hour: float = 21.0
+    evening_width_hours: float = 2.8
+    day_amplitude: float = 0.0
+    day_peak_hour: float = 14.0
+    day_width_hours: float = 4.0
+
+    def value(self, hour: float) -> float:
+        hour = hour % 24.0
+        total = self.base
+        total += self.evening_amplitude * _wrapped_gaussian(
+            hour, self.evening_peak_hour, self.evening_width_hours
+        )
+        total += self.day_amplitude * _wrapped_gaussian(
+            hour, self.day_peak_hour, self.day_width_hours
+        )
+        return max(0.0, total)
+
+    def peak_value(self) -> float:
+        """Maximum over the day (scanned at 1-minute resolution)."""
+        return max(self.value(m / 60.0) for m in range(0, 24 * 60))
+
+    def trough_value(self) -> float:
+        """Minimum over the day (scanned at 1-minute resolution)."""
+        return min(self.value(m / 60.0) for m in range(0, 24 * 60))
+
+
+#: Demand profile of crowdsourced speed-test launches. Users run tests when
+#: awake and mostly in the evening; the resulting sample-count imbalance
+#: (few off-peak samples, Figure 5 right panels) is the §6.1 time-of-day
+#: bias. Normalized to peak 1.0.
+_TEST_DEMAND = DiurnalProfile(
+    base=0.06,
+    evening_amplitude=0.80,
+    evening_peak_hour=20.5,
+    evening_width_hours=3.2,
+    day_amplitude=0.42,
+    day_peak_hour=13.5,
+    day_width_hours=4.5,
+)
+
+
+def crowdsourced_test_intensity(hour: float) -> float:
+    """Relative rate at which volunteers launch NDT tests at a local hour."""
+    return _TEST_DEMAND.value(hour) / 1.0
+
+
+#: Shared-medium (cable) neighbourhood traffic: a steeper evening peak than
+#: the test-launch curve — streaming hours dominate. Normalized to peak 1.
+_CABLE_TRAFFIC = DiurnalProfile(
+    base=0.10,
+    evening_amplitude=0.88,
+    evening_peak_hour=21.0,
+    evening_width_hours=2.6,
+    day_amplitude=0.30,
+    day_peak_hour=14.0,
+    day_width_hours=4.5,
+)
+
+
+def cable_contention(hour: float) -> float:
+    """Relative load on a cable segment's shared medium at a local hour."""
+    return _CABLE_TRAFFIC.value(hour)

@@ -1,0 +1,174 @@
+"""TCP throughput and RTT model for NDT-style bulk transfers.
+
+NDT measures the throughput of a short bulk TCP transfer. We model the
+achieved rate as the minimum of three ceilings:
+
+1. the client's access pipeline — service-plan rate degraded by the home
+   network (Wi-Fi contention etc., §6.1);
+2. the tightest interconnect on the path — the available-bandwidth model
+   of :mod:`repro.net.link`;
+3. the loss/RTT ceiling of TCP itself — the Mathis et al. / Padhye et al.
+   relation ``rate ≈ MSS / (RTT · sqrt(2p/3))``, which is what couples a
+   congested link's loss to a collapsed throughput, and which gives the
+   well-known inverse throughput/latency relationship the paper cites
+   (§2) as the reason servers must sit close to clients.
+
+A multiplicative log-normal noise term models everything we do not
+simulate (cross traffic bursts, host effects).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.net.link import BASE_LOSS, LinkNetwork
+from repro.routing.forwarding import ForwardingPath
+from repro.topology.geo import city_by_code, propagation_delay_ms
+from repro.util.rng import derive_random
+
+
+@dataclass(frozen=True)
+class TCPModelConfig:
+    """Constants of the transfer model."""
+
+    mss_bytes: int = 1460
+    #: Base host/stack latency added to every RTT (ms).
+    host_overhead_ms: float = 1.5
+    #: Log-normal sigma of the multiplicative throughput noise.
+    throughput_noise_sigma: float = 0.18
+    #: NDT transfer duration (s), used to convert loss rate to an expected
+    #: count of congestion signals for the record.
+    test_duration_s: float = 10.0
+    #: Buffer an access-limited flow builds at its own bottleneck (ms) —
+    #: the self-induced bufferbloat TCP congestion signatures detect.
+    access_buffer_ms: float = 25.0
+    #: Fraction of transient queueing even the flow's fastest round trip
+    #: pays (queues drain, but rarely to exactly zero).
+    transient_floor_fraction: float = 0.1
+
+
+@dataclass(frozen=True)
+class PathObservation:
+    """What one NDT transfer would observe (plus ground truth fields).
+
+    ``throughput_bps``, ``rtt_ms``, and ``retx_rate`` are the observable
+    outputs that land in measurement records; ``bottleneck_link_id`` and
+    ``bottleneck_kind`` are ground truth reserved for validation.
+    """
+
+    throughput_bps: float
+    rtt_ms: float
+    retx_rate: float
+    congestion_signals: int
+    bottleneck_link_id: int | None
+    bottleneck_kind: str  # "access", "interconnect", or "latency"
+    #: Flow RTT extremes (NDT logs the RTT series, so these are public).
+    rtt_min_ms: float = 0.0
+    rtt_max_ms: float = 0.0
+
+
+class TCPModel:
+    """Evaluates NDT transfers over forwarding paths at a time of day."""
+
+    def __init__(
+        self,
+        links: LinkNetwork,
+        config: TCPModelConfig | None = None,
+        seed: int = 7,
+    ) -> None:
+        self._links = links
+        self._config = config if config is not None else TCPModelConfig()
+        self._seed = seed
+        self._rng = derive_random(seed, "tcp-noise")
+
+    def reseeded(self, seed: int) -> "TCPModel":
+        """A fresh model over the same links with an independent noise stream.
+
+        Campaigns use this so each campaign's randomness is a function of
+        its own seed rather than of whatever ran before it.
+        """
+        return TCPModel(self._links, self._config, seed=seed)
+
+    def base_rtt_ms(self, path: ForwardingPath) -> float:
+        """Propagation + host RTT with empty queues (no diurnal component)."""
+        cities = [hop.city_code for hop in path.hops]
+        one_way = 0.0
+        for a, b in zip(cities, cities[1:]):
+            if a != b:
+                one_way += propagation_delay_ms(city_by_code(a), city_by_code(b))
+        # Metro-area floor so same-city paths do not read as 0 ms.
+        one_way += 0.3 * max(1, len(cities) - 1) * 0.2 + 0.4
+        return 2.0 * one_way + self._config.host_overhead_ms
+
+    def mathis_ceiling_bps(self, rtt_ms: float, loss: float) -> float:
+        """Mathis et al. loss/RTT throughput ceiling."""
+        loss = max(loss, BASE_LOSS)
+        rtt_s = max(1e-4, rtt_ms / 1000.0)
+        return (self._config.mss_bytes * 8.0) / (rtt_s * math.sqrt(2.0 * loss / 3.0))
+
+    def observe(
+        self,
+        path: ForwardingPath,
+        hour: float,
+        access_rate_bps: float,
+        home_factor: float = 1.0,
+        access_loss: float = 0.0,
+        with_noise: bool = True,
+    ) -> PathObservation:
+        """Evaluate one transfer.
+
+        ``access_rate_bps`` is the service-plan rate; ``home_factor`` ≤ 1
+        models home network / Wi-Fi degradation; ``access_loss`` adds loss
+        on the last mile (bad Wi-Fi).
+        """
+        standing_ms, transient_ms = self._links.path_queue_split_ms(
+            path.crossed_links, hour
+        )
+        base_ms = self.base_rtt_ms(path)
+        rtt_ms = base_ms + standing_ms + transient_ms
+        loss = self._links.path_loss(path.crossed_links, hour)
+        loss = 1.0 - (1.0 - loss) * (1.0 - max(0.0, access_loss))
+
+        access_ceiling = access_rate_bps * max(0.05, min(1.0, home_factor))
+        interconnect_ceiling, bottleneck_link = self._links.path_available_bps(
+            path.crossed_links, hour
+        )
+        latency_ceiling = self.mathis_ceiling_bps(rtt_ms, loss)
+
+        throughput = min(access_ceiling, interconnect_ceiling, latency_ceiling)
+        if throughput == access_ceiling:
+            kind = "access"
+            bottleneck: int | None = None
+        elif throughput == interconnect_ceiling:
+            kind = "interconnect"
+            bottleneck = bottleneck_link
+        else:
+            kind = "latency"
+            bottleneck = None
+
+        if with_noise:
+            noise = math.exp(self._rng.gauss(0.0, self._config.throughput_noise_sigma))
+            throughput = min(throughput * noise, access_rate_bps)
+        throughput = max(throughput, 10_000.0)  # floor: tests never report ~0
+
+        retx = min(0.5, loss * (1.0 + (0.2 * self._rng.random() if with_noise else 0.0)))
+        packets = throughput * self._config.test_duration_s / (self._config.mss_bytes * 8.0)
+        signals = int(round(retx * packets))
+
+        # RTT extremes: standing queues are on the floor from the first
+        # round trip; transient queues mostly drain out of the minimum; an
+        # access-limited flow then builds its own buffer up to the maximum.
+        rtt_min = base_ms + standing_ms + self._config.transient_floor_fraction * transient_ms
+        self_buffer = self._config.access_buffer_ms if kind == "access" else 2.0
+        rtt_max = rtt_ms + self_buffer
+        return PathObservation(
+            throughput_bps=throughput,
+            rtt_ms=rtt_ms,
+            retx_rate=retx,
+            congestion_signals=signals,
+            bottleneck_link_id=bottleneck,
+            bottleneck_kind=kind,
+            rtt_min_ms=rtt_min,
+            rtt_max_ms=rtt_max,
+        )

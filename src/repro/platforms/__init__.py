@@ -1,0 +1,41 @@
+"""Measurement platforms: crowdsourced clients, M-Lab, Speedtest, Ark, Alexa.
+
+This package models *who measures what from where*:
+
+* :mod:`clients` — the crowdsourced client population of each access ISP,
+  with service-plan variance, access technology, and home-network effects;
+* :mod:`mlab` — the M-Lab deployment (servers inside transit networks,
+  geo-proximity server selection, the single-threaded Paris traceroute
+  daemon that loses traces);
+* :mod:`speedtest` — an Ookla-style deployment: many more servers hosted
+  across a much more diverse set of networks;
+* :mod:`ark` — CAIDA Ark vantage points inside access ISPs (Table 3);
+* :mod:`alexa` — popular web content targets and their hosting networks;
+* :mod:`campaign` — the generator of month-long crowdsourced NDT
+  campaigns, with the time-of-day arrival bias of §6.1.
+"""
+
+from repro.platforms.alexa import AlexaTarget, make_alexa_targets
+from repro.platforms.ark import ArkVP, make_ark_vps
+from repro.platforms.campaign import CampaignConfig, CampaignResult, run_ndt_campaign
+from repro.platforms.clients import Client, ClientPopulation, PopulationConfig
+from repro.platforms.mlab import MLabConfig, MLabPlatform, MLabServer
+from repro.platforms.speedtest import SpeedtestConfig, SpeedtestPlatform
+
+__all__ = [
+    "AlexaTarget",
+    "ArkVP",
+    "CampaignConfig",
+    "CampaignResult",
+    "Client",
+    "ClientPopulation",
+    "MLabConfig",
+    "MLabPlatform",
+    "MLabServer",
+    "PopulationConfig",
+    "SpeedtestConfig",
+    "SpeedtestPlatform",
+    "make_alexa_targets",
+    "make_ark_vps",
+    "run_ndt_campaign",
+]

@@ -1,0 +1,69 @@
+"""Popular web content targets (the Alexa top-500 of §5.1).
+
+Each domain resolves to an address hosted by some network — mostly the big
+content/CDN ASes (with a Zipf-like skew: a handful of CDNs serve most of
+the top sites), plus a tail of sites hosted in transit or stub networks.
+Traceroutes from Ark VPs toward these targets reveal which of an ISP's
+interconnections actually carry popular content (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.asgraph import ASRole
+from repro.topology.internet import Internet
+from repro.util.rng import derive_random
+
+
+@dataclass(frozen=True)
+class AlexaTarget:
+    """One resolved popular-content endpoint."""
+
+    domain: str
+    ip: int
+    asn: int
+    city: str
+
+
+def make_alexa_targets(
+    internet: Internet,
+    count: int = 500,
+    seed: int = 7,
+) -> list[AlexaTarget]:
+    """Generate ``count`` popular-content targets.
+
+    Hosting concentration follows a Zipf-like weighting over content ASes;
+    roughly 12% of domains live in transit or stub networks instead
+    (self-hosted sites), matching the long tail of real top-site lists.
+    """
+    rng = derive_random(seed, "alexa")
+    content = sorted(internet.graph.ases_by_role(ASRole.CONTENT), key=lambda a: a.asn)
+    others = sorted(
+        internet.graph.ases_by_role(ASRole.TRANSIT) + internet.graph.ases_by_role(ASRole.STUB),
+        key=lambda a: a.asn,
+    )
+    if not content:
+        raise ValueError("internet has no content ASes to host Alexa targets")
+    zipf_weights = [1.0 / (rank + 1) for rank in range(len(content))]
+
+    targets: list[AlexaTarget] = []
+    ip_cursor: dict[int, int] = {}
+    for index in range(count):
+        if others and rng.random() < 0.12:
+            host = rng.choice(others)
+        else:
+            host = rng.choices(content, weights=zipf_weights, k=1)[0]
+        city = rng.choice(host.home_cities)
+        prefix = internet.client_prefixes[host.asn][0]
+        start = ip_cursor.get(host.asn, prefix.base + 200_000)
+        ip_cursor[host.asn] = start + 1
+        targets.append(
+            AlexaTarget(
+                domain=f"site{index:03d}.example",
+                ip=start,
+                asn=host.asn,
+                city=city,
+            )
+        )
+    return targets

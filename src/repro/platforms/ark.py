@@ -1,0 +1,73 @@
+"""CAIDA Archipelago (Ark) vantage points.
+
+Table 3's sixteen VPs, hosted inside nine US access ISPs, each placed in a
+metro suggested by its Ark code (bed-us is Bedminster/Boston-ish, aza-us
+is Arizona, ...). VPs launch outward topology measurements: bdrmap-style
+traceroutes to every routed prefix, and coverage traceroutes to platform
+servers and Alexa targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.internet import Internet
+
+#: (ark code, figure label, org, metro) in Table 3 row order.
+_VP_SPECS: tuple[tuple[str, str, str, str], ...] = (
+    ("bed-us", "COM-1", "Comcast", "bos"),
+    ("mry-us", "COM-2", "Comcast", "sfo"),
+    ("atl2-us", "COM-3", "Comcast", "atl"),
+    ("wbu2-us", "COM-4", "Comcast", "den"),
+    ("bos5-us", "COM-5", "Comcast", "bos"),
+    ("mnz-us", "VZ", "Verizon", "was"),
+    ("ith-us", "TWC-1", "TimeWarnerCable", "nyc"),
+    ("lex-us", "TWC-2", "TimeWarnerCable", "stl"),
+    ("san4-us", "TWC-3", "TimeWarnerCable", "lax"),
+    ("msy-us", "COX-1", "Cox", "hou"),
+    ("san2-us", "COX-2", "Cox", "lax"),
+    ("aza-us", "CENT", "CenturyLink", "phx"),
+    ("wvi-us", "SONC", "Sonic", "sfo"),
+    ("bed3-us", "RCN", "RCN", "bos"),
+    ("igx-us", "FRON", "Frontier", "tpa"),
+    ("san6-us", "ATT", "ATT", "lax"),
+)
+
+
+@dataclass(frozen=True)
+class ArkVP:
+    """One Ark vantage point inside an access ISP."""
+
+    code: str
+    label: str
+    org_name: str
+    asn: int
+    city: str
+    ip: int
+
+
+def make_ark_vps(internet: Internet) -> list[ArkVP]:
+    """Instantiate the Table 3 VP set against a generated Internet.
+
+    A VP's metro falls back to the nearest home city of its host ISP when
+    the preferred metro is not one the ISP covers in this instance.
+    """
+    vps: list[ArkVP] = []
+    ip_offset = 90_000  # clear of client address assignment
+    for index, (code, label, org_name, metro) in enumerate(_VP_SPECS):
+        org = next(o for o in internet.orgs.organizations() if o.name == org_name)
+        asn = org.primary
+        autonomous_system = internet.graph.get(asn)
+        city = metro if metro in autonomous_system.home_cities else autonomous_system.home_cities[0]
+        prefix = internet.client_prefixes[asn][0]
+        vps.append(
+            ArkVP(
+                code=code,
+                label=label,
+                org_name=org_name,
+                asn=asn,
+                city=city,
+                ip=prefix.base + ip_offset + index,
+            )
+        )
+    return vps

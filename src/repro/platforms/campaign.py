@@ -1,0 +1,176 @@
+"""Month-long crowdsourced NDT campaigns.
+
+Generates the May-2015-style dataset the paper analyses: volunteers launch
+NDT tests against M-Lab with a strong evening arrival bias (§6.1), some as
+single tests and some as Battle-for-the-Net-style bursts against several
+regional sites (§2.2). After every test the serving site's single-threaded
+Paris traceroute daemon tries to trace back to the client — and silently
+skips when still busy, producing the incomplete NDT↔traceroute matching
+of §4.1.
+
+Tests are executed in timestamp order so daemon contention is physical,
+not an artifact of generation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.measurement.ndt import ClientEndpoint, NDTRunner
+from repro.measurement.records import NDTRecord, TracerouteRecord
+from repro.measurement.traceroute import TracerouteEngine
+from repro.net.diurnal import crowdsourced_test_intensity
+from repro.net.tcp import TCPModel
+from repro.platforms.clients import Client, ClientPopulation
+from repro.platforms.mlab import MLabPlatform, MLabServer
+from repro.routing.forwarding import Forwarder
+from repro.topology.internet import Internet
+from repro.util.rng import derive_random
+
+_SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    seed: int = 7
+    days: int = 28
+    total_tests: int = 50_000
+    #: Restrict volunteering clients to these orgs (None = all access orgs).
+    orgs: tuple[str, ...] | None = None
+    #: "nearest" (M-Lab backend), "regional" (Battle-for-the-Net wrapper),
+    #: or "direct" (topology-aware: only directly connected hosts, §7).
+    selection_policy: str = "nearest"
+    #: Probability a session is a multi-test burst against several sites.
+    burst_prob: float = 0.30
+    #: Burst size range (inclusive).
+    burst_tests: tuple[int, int] = (2, 5)
+    #: Gap between tests in a burst, seconds.
+    burst_gap_s: tuple[float, float] = (20.0, 75.0)
+    #: NDT test duration (throughput phase), seconds.
+    test_duration_s: float = 10.0
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    config: CampaignConfig
+    ndt_records: list[NDTRecord]
+    traceroute_records: list[TracerouteRecord]
+    servers_by_id: dict[int, MLabServer]
+
+    def tests_toward_org(self, org_name: str) -> list[NDTRecord]:
+        return [r for r in self.ndt_records if r.gt_client_org == org_name]
+
+
+def run_ndt_campaign(
+    internet: Internet,
+    population: ClientPopulation,
+    platform: MLabPlatform,
+    forwarder: Forwarder,
+    tcp: TCPModel,
+    config: CampaignConfig | None = None,
+    traceroute_engine: TracerouteEngine | None = None,
+) -> CampaignResult:
+    """Simulate a crowdsourced NDT campaign and return all records."""
+    if config is None:
+        config = CampaignConfig()
+    rng = derive_random(config.seed, "campaign")
+    runner = NDTRunner(forwarder, tcp)
+    engine = traceroute_engine if traceroute_engine is not None else TracerouteEngine(
+        internet, forwarder
+    )
+    platform.reset_daemons()
+
+    orgs = list(config.orgs) if config.orgs is not None else population.orgs()
+    weights = []
+    for org in orgs:
+        clients = population.clients_of(org)
+        if not clients:
+            raise ValueError(f"org {org!r} has no clients")
+        weights.append(sum(1.0 for _ in clients))
+
+    # --- schedule individual test events -------------------------------
+    # Each session expands into per-test events up front; the whole event
+    # list is then executed in global time order so the single-threaded
+    # traceroute daemons see arrivals exactly as wall-clock would deliver
+    # them (bursts from different sessions interleave).
+    events: list[tuple[float, Client, MLabServer]] = []
+    scheduled_tests = 0
+    while scheduled_tests < config.total_tests:
+        org = rng.choices(orgs, weights=weights, k=1)[0]
+        client = rng.choice(population.clients_of(org))
+        n_tests = 1
+        if rng.random() < config.burst_prob:
+            n_tests = rng.randint(*config.burst_tests)
+        n_tests = min(n_tests, config.total_tests - scheduled_tests)
+        day = rng.randrange(config.days)
+        hour = _sample_local_hour(rng)
+        now = day * _SECONDS_PER_DAY + hour * 3600.0 + rng.uniform(0, 59)
+        sites = platform.select_regional_sites(client.city, count=5)
+        for test_index in range(n_tests):
+            if config.selection_policy == "direct":
+                server = platform.select_server_direct(client.city, client.asn, rng)
+            elif config.selection_policy == "regional":
+                server = rng.choice(platform.servers_at(rng.choice(sites)))
+            elif n_tests > 1:
+                # Battle-for-the-Net bursts walk the regional site list.
+                site = sites[test_index % len(sites)]
+                server = rng.choice(platform.servers_at(site))
+            else:
+                server = platform.select_server(client.city, rng, config.selection_policy)
+            events.append((now, client, server))
+            now += rng.uniform(*config.burst_gap_s)
+        scheduled_tests += n_tests
+    events.sort(key=lambda e: e[0])
+
+    # --- execute in time order ------------------------------------------
+    ndt_records: list[NDTRecord] = []
+    traceroutes: list[TracerouteRecord] = []
+    for now, client, server in events:
+        local_hour = (now % _SECONDS_PER_DAY) / 3600.0
+        conditions = population.draw_conditions(client, local_hour, rng)
+        endpoint = ClientEndpoint(
+            ip=client.ip,
+            asn=client.asn,
+            org_name=client.org_name,
+            city=client.city,
+            plan_rate_bps=conditions.effective_plan_bps,
+            home_factor=conditions.home_factor,
+            access_loss=conditions.access_loss,
+            upload_rate_bps=conditions.effective_upload_bps,
+        )
+        outcome = runner.run(endpoint, server.endpoint(), timestamp_s=now, local_hour=local_hour)
+        if outcome is None:
+            continue
+        record, _path = outcome
+        ndt_records.append(record)
+        test_end = now + config.test_duration_s
+        if platform.daemon_try_acquire(server.site, test_end) is not None:
+            trace = engine.trace(
+                src_ip=server.ip,
+                src_asn=server.asn,
+                src_city=server.city,
+                dst_ip=client.ip,
+                dst_asn=client.asn,
+                dst_city=client.city,
+                timestamp_s=test_end + 1.0,
+                flow_key=("paris", server.site, client.ip, record.test_id),
+            )
+            if trace is not None:
+                traceroutes.append(trace)
+
+    return CampaignResult(
+        config=config,
+        ndt_records=ndt_records,
+        traceroute_records=traceroutes,
+        servers_by_id={s.server_id: s for s in platform.servers()},
+    )
+
+
+def _sample_local_hour(rng) -> float:
+    """Rejection-sample a local hour from the crowdsourced demand curve."""
+    while True:
+        hour = rng.uniform(0.0, 24.0)
+        if rng.random() < crowdsourced_test_intensity(hour):
+            return hour

@@ -1,0 +1,86 @@
+"""An Ookla Speedtest.net–style server deployment.
+
+The paper's §5 contrast is structural: Speedtest has an order of magnitude
+more servers than M-Lab, and — crucially — they are hosted by a far more
+*diverse* set of networks (regional ISPs, universities, hosting shops, and
+access ISPs themselves volunteer servers), whereas M-Lab concentrates in a
+handful of transit networks. That hosting diversity, not raw count, is
+what covers more of an access network's interconnections. Speedtest is a
+closed platform: we model only its server list as traceroute targets,
+exactly how the paper uses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.asgraph import ASRole
+from repro.topology.internet import Internet
+from repro.util.rng import derive_random
+
+
+@dataclass(frozen=True)
+class SpeedtestServer:
+    """One Speedtest server (used only as a traceroute target)."""
+
+    server_id: int
+    asn: int
+    city: str
+    ip: int
+
+
+@dataclass(frozen=True)
+class SpeedtestConfig:
+    seed: int = 7
+    #: 3591 servers in Oct 2015, 5209 in Feb 2017 (paper §5.4); our world
+    #: is US-only and smaller, so defaults scale those counts by ~1/4.
+    server_count: int = 900
+    #: Share of servers hosted by each AS role. Hosting is diverse — local
+    #: ISPs, hosting shops (stubs), access ISPs themselves, carriers — but
+    #: only a small *fraction of all stub ASes* volunteers a server, which
+    #: is what keeps coverage of customer borders low (§5.2).
+    role_shares: tuple[tuple[str, float], ...] = (
+        ("stub", 0.12),
+        ("access", 0.30),
+        ("transit", 0.18),
+        ("content", 0.25),
+        ("tier1", 0.15),
+    )
+
+
+class SpeedtestPlatform:
+    """Server inventory of the closed platform."""
+
+    def __init__(self, internet: Internet, config: SpeedtestConfig | None = None) -> None:
+        self._internet = internet
+        self._config = config if config is not None else SpeedtestConfig()
+        self._rng = derive_random(self._config.seed, "speedtest")
+        self._servers: list[SpeedtestServer] = []
+        self._build()
+
+    @property
+    def config(self) -> SpeedtestConfig:
+        return self._config
+
+    def servers(self) -> list[SpeedtestServer]:
+        return list(self._servers)
+
+    def _build(self) -> None:
+        pools: dict[str, list] = {}
+        for autonomous_system in self._internet.graph:
+            pools.setdefault(autonomous_system.role.value, []).append(autonomous_system)
+        for pool in pools.values():
+            pool.sort(key=lambda a: a.asn)
+        roles = [role for role, share in self._config.role_shares if pools.get(role)]
+        shares = [share for role, share in self._config.role_shares if pools.get(role)]
+        ip_cursor: dict[int, int] = {}
+        for server_id in range(1, self._config.server_count + 1):
+            role = self._rng.choices(roles, weights=shares, k=1)[0]
+            host = self._rng.choice(pools[role])
+            city = self._rng.choice(host.home_cities)
+            prefix = self._internet.client_prefixes[host.asn][0]
+            start = ip_cursor.get(host.asn, prefix.base + (1 << (32 - prefix.length)) - 5000)
+            ip_cursor[host.asn] = start + 1
+            self._servers.append(
+                SpeedtestServer(server_id=server_id, asn=host.asn, city=city, ip=start)
+            )

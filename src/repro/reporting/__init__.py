@@ -1,0 +1,19 @@
+"""Report rendering: ASCII figures and markdown reports from experiments.
+
+The paper's figures are bar charts (Figures 1–4) and hourly series
+(Figure 5); this package renders the reproduced data in those shapes
+directly in the terminal or a markdown file, so a run of
+``python -m repro.reporting`` yields a self-contained reproduction report
+with no plotting dependencies.
+"""
+
+from repro.reporting.ascii import bar_chart, hourly_series_chart, stacked_bar_chart
+from repro.reporting.markdown import render_markdown_report, write_markdown_report
+
+__all__ = [
+    "bar_chart",
+    "hourly_series_chart",
+    "render_markdown_report",
+    "stacked_bar_chart",
+    "write_markdown_report",
+]

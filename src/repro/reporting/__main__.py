@@ -1,0 +1,39 @@
+"""Generate a markdown reproduction report.
+
+    python -m repro.reporting out.md fig1 fig5   # selected experiments
+    python -m repro.reporting out.md all         # everything (slow)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import EXPERIMENTS
+from repro.reporting.markdown import write_markdown_report
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    path = argv[0]
+    ids = list(EXPERIMENTS) if argv[1:] == ["all"] else argv[1:]
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    results = []
+    for experiment_id in ids:
+        print(f"running {experiment_id}...", file=sys.stderr)
+        results.append(EXPERIMENTS[experiment_id]())
+    write_markdown_report(
+        results,
+        path,
+        title="Reproduction: Challenges in Inferring Internet Congestion (IMC 2017)",
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,155 @@
+"""ASCII chart rendering.
+
+Three chart shapes cover every figure in the paper:
+
+* :func:`bar_chart` — grouped horizontal bars (Figures 2–4: one bar per
+  platform per vantage point);
+* :func:`stacked_bar_chart` — 100% stacked horizontal bars (Figure 1:
+  1 / 2 / 2+ AS-hop shares per ISP);
+* :func:`hourly_series_chart` — a 24-column column chart (Figure 5:
+  hourly medians and sample counts).
+
+All renderers are pure functions from data to a string; no terminal
+control codes, so output embeds cleanly in markdown code fences.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 10_000:
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def bar_chart(
+    rows: Sequence[tuple[str, Mapping[str, float]]],
+    width: int = 40,
+    log_scale: bool = False,
+) -> str:
+    """Grouped horizontal bars: one group per row label, one bar per series.
+
+    ``rows`` is ``[(label, {series: value, ...}), ...]``. ``log_scale``
+    mirrors the paper's log-axis coverage figures, where a 1-vs-1000 ratio
+    must stay readable.
+    """
+    if not rows:
+        raise ValueError("no rows to chart")
+    series_names: list[str] = []
+    for _label, values in rows:
+        for name in values:
+            if name not in series_names:
+                series_names.append(name)
+    peak = max((value for _l, values in rows for value in values.values()), default=0.0)
+    if peak <= 0:
+        peak = 1.0
+
+    def scaled(value: float) -> int:
+        if value <= 0:
+            return 0
+        if log_scale:
+            return max(1, int(round(width * math.log1p(value) / math.log1p(peak))))
+        return max(1, int(round(width * value / peak)))
+
+    label_width = max(len(label) for label, _v in rows)
+    name_width = max(len(name) for name in series_names)
+    lines = []
+    for label, values in rows:
+        for index, name in enumerate(series_names):
+            value = values.get(name)
+            if value is None:
+                continue
+            prefix = label.ljust(label_width) if index == 0 else " " * label_width
+            bar = "█" * scaled(value)
+            lines.append(
+                f"{prefix}  {name.ljust(name_width)} |{bar} {_fmt_value(value)}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def stacked_bar_chart(
+    rows: Sequence[tuple[str, Mapping[str, float]]],
+    width: int = 50,
+    symbols: str = "█▓░·",
+) -> str:
+    """100% stacked horizontal bars (shares per category).
+
+    Each row's values are normalized to the bar width; the legend maps
+    fill characters to category names.
+    """
+    if not rows:
+        raise ValueError("no rows to chart")
+    categories: list[str] = []
+    for _label, values in rows:
+        for name in values:
+            if name not in categories:
+                categories.append(name)
+    if len(categories) > len(symbols):
+        raise ValueError(f"at most {len(symbols)} categories supported")
+
+    label_width = max(len(label) for label, _v in rows)
+    lines = []
+    for label, values in rows:
+        total = sum(values.get(c, 0.0) for c in categories)
+        bar = ""
+        if total > 0:
+            remaining = width
+            for index, category in enumerate(categories):
+                share = values.get(category, 0.0) / total
+                cells = int(round(share * width))
+                cells = min(cells, remaining)
+                if index == len(categories) - 1:
+                    cells = remaining
+                bar += symbols[index] * cells
+                remaining -= cells
+        lines.append(f"{label.ljust(label_width)} |{bar}|")
+    legend = "  ".join(
+        f"{symbols[index]}={category}" for index, category in enumerate(categories)
+    )
+    lines.append(f"{'':{label_width}}  {legend}")
+    return "\n".join(lines)
+
+
+def hourly_series_chart(
+    values: Sequence[float],
+    height: int = 6,
+    title: str = "",
+) -> str:
+    """A 24-column block chart of one hourly series (NaNs render blank)."""
+    if len(values) != 24:
+        raise ValueError(f"expected 24 hourly values, got {len(values)}")
+    finite = [v for v in values if not math.isnan(v)]
+    peak = max(finite) if finite else 1.0
+    if peak <= 0:
+        peak = 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    # Render with sub-block resolution: height rows of eighth-blocks.
+    levels = []
+    for value in values:
+        if math.isnan(value) or value <= 0:
+            levels.append(0)
+        else:
+            levels.append(max(1, int(round(value / peak * height * 8))))
+    for row in range(height, 0, -1):
+        cells = []
+        floor = (row - 1) * 8
+        for level in levels:
+            excess = level - floor
+            if excess <= 0:
+                cells.append(" ")
+            elif excess >= 8:
+                cells.append("█")
+            else:
+                cells.append(_BLOCKS[excess])
+        lines.append("|" + "".join(cells) + f"|{'' if row < height else ' ' + _fmt_value(peak)}")
+    lines.append("+" + "-" * 24 + "+")
+    lines.append(" 0    6     12    18  23")
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Markdown reproduction reports.
+
+Turns a set of :class:`~repro.experiments.base.ExperimentResult` objects
+into one self-contained markdown document: a summary table of headline
+notes, then per-experiment sections with the data table and — where the
+artifact is a figure — an ASCII rendering in the paper's shape.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.experiments.base import ExperimentResult
+from repro.reporting.ascii import bar_chart, hourly_series_chart, stacked_bar_chart
+
+
+def render_markdown_report(
+    results: Iterable[ExperimentResult],
+    title: str = "Reproduction report",
+) -> str:
+    results = list(results)
+    lines = [f"# {title}", ""]
+    lines.append("| experiment | title | headline |")
+    lines.append("|---|---|---|")
+    for result in results:
+        headline = _headline(result)
+        lines.append(f"| `{result.experiment_id}` | {result.title} | {headline} |")
+    lines.append("")
+
+    for result in results:
+        lines.append(f"## {result.experiment_id}: {result.title}")
+        lines.append("")
+        figure = _figure_for(result)
+        if figure is not None:
+            lines.append("```")
+            lines.append(figure)
+            lines.append("```")
+            lines.append("")
+        lines.append("| " + " | ".join(str(h) for h in result.headers) + " |")
+        lines.append("|" + "---|" * len(result.headers))
+        for row in result.rows:
+            lines.append("| " + " | ".join(_cell(c) for c in row) + " |")
+        if result.notes:
+            lines.append("")
+            for key in sorted(result.notes):
+                lines.append(f"* **{key}**: {_cell(result.notes[key])}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_markdown_report(
+    results: Iterable[ExperimentResult],
+    path: str,
+    title: str = "Reproduction report",
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_markdown_report(results, title=title))
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _headline(result: ExperimentResult) -> str:
+    """Pick the most informative note for the summary table."""
+    preferred = (
+        "overall_one_hop_fraction",
+        "matched_after_2015",
+        "mlab_as_frac_range",
+        "mean_precision",
+        "overall_accuracy",
+        "as_pair_precision",
+        "strict_accuracy",
+        "precision",
+        "ATT_relative_drop",
+        "regional_mislabeled_fraction",
+        "alexa_uncovered_by_mlab_frac_range",
+    )
+    for key in preferred:
+        if key in result.notes:
+            return f"{key} = {_cell(result.notes[key])}"
+    if result.notes:
+        key = sorted(result.notes)[0]
+        return f"{key} = {_cell(result.notes[key])}"
+    return f"{len(result.rows)} rows"
+
+
+def _figure_for(result: ExperimentResult) -> str | None:
+    """Render the experiment in its paper figure shape, if it has one."""
+    try:
+        if result.experiment_id == "fig1":
+            rows = []
+            for row in result.rows:
+                label, _tests, one, two, more = row[0], row[1], row[2], row[3], row[4]
+                if not isinstance(one, (int, float)):
+                    continue
+                rows.append(
+                    (str(label), {"1 hop": float(one), "2 hops": float(two), "2+": float(more)})
+                )
+            return stacked_bar_chart(rows) if rows else None
+        if result.experiment_id in ("fig2", "fig3"):
+            rows = []
+            for row in result.rows:
+                label = str(row[0])
+                discovered = float(row[1])
+                mlab = float(row[2])
+                speedtest = float(row[3])
+                rows.append(
+                    (label, {"bdrmap": discovered, "mlab": mlab, "speedtest": speedtest})
+                )
+            return bar_chart(rows, log_scale=True) if rows else None
+        if result.experiment_id == "fig4":
+            rows = []
+            for row in result.rows:
+                rows.append(
+                    (
+                        str(row[0]),
+                        {"Mlab-Alexa": float(row[2]), "Alexa-Mlab": float(row[3])},
+                    )
+                )
+            return bar_chart(rows) if rows else None
+        if result.experiment_id == "fig5":
+            charts = []
+            for org in ("ATT", "Comcast"):
+                medians = [math.nan] * 24
+                counts = [0.0] * 24
+                for row in result.rows:
+                    if row[0] != org:
+                        continue
+                    hour = int(row[1])
+                    counts[hour] = float(row[2])
+                    if isinstance(row[4], (int, float)):
+                        medians[hour] = float(row[4])
+                charts.append(
+                    hourly_series_chart(medians, title=f"{org}: median Mbps by local hour")
+                )
+                charts.append(
+                    hourly_series_chart(counts, title=f"{org}: samples by local hour")
+                )
+            return "\n\n".join(charts)
+    except (ValueError, TypeError, IndexError):
+        return None
+    return None

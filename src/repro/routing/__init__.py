@@ -1,0 +1,25 @@
+"""Routing: AS-level BGP path selection and router-level forwarding.
+
+:mod:`repro.routing.bgp` computes valley-free (Gao-Rexford) AS paths with
+the standard preference order — customer routes over peer routes over
+provider routes, then shortest AS path, then lowest next-hop ASN.
+
+:mod:`repro.routing.forwarding` expands an AS path into the router-level
+path a packet actually takes: hot-potato (earliest-exit) interconnect
+selection, per-flow ECMP across parallel links, and intra-AS hops through
+PoP core routers. This is the layer that makes different NDT flows between
+the same two ASes cross *different* IP-level interconnects — the phenomenon
+behind Table 2 and the failure of Assumption 3.
+"""
+
+from repro.routing.bgp import BGPRouting, RouteTable, RouteType
+from repro.routing.forwarding import Forwarder, ForwardingPath, RouterHop
+
+__all__ = [
+    "BGPRouting",
+    "Forwarder",
+    "ForwardingPath",
+    "RouteTable",
+    "RouteType",
+    "RouterHop",
+]

@@ -1,0 +1,162 @@
+"""Valley-free AS-level route computation (Gao-Rexford model).
+
+For each destination AS we build a routing tree giving, for *every* source
+AS, the next hop toward the destination under the canonical policy model:
+
+1. routes learned from customers are preferred over routes learned from
+   peers, which are preferred over routes learned from providers;
+2. ties break on shortest AS-path length;
+3. remaining ties break on lowest next-hop ASN (deterministic).
+
+Export rules are enforced by construction: customer routes (and the origin)
+are exported to everyone; peer- and provider-learned routes are exported
+only to customers. The resulting paths have the classic valley-free shape
+(uphill through providers, at most one peer edge, downhill through
+customers).
+
+Tables are cached per destination, so asking for paths from many sources to
+one destination (the bdrmap probing pattern) costs one traversal total.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+
+from repro.topology.asgraph import ASGraph, Relationship
+
+
+class RouteType(enum.Enum):
+    """How the best route at an AS was learned."""
+
+    ORIGIN = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+@dataclass
+class RouteTable:
+    """Routing tree for one destination AS.
+
+    ``next_hop[src]`` is the neighbour ``src`` forwards to; following next
+    hops always terminates at ``dst``.
+    """
+
+    dst: int
+    next_hop: dict[int, int | None]
+    route_type: dict[int, RouteType]
+    path_length: dict[int, int]
+
+    def has_route(self, src: int) -> bool:
+        return src in self.next_hop
+
+    def as_path(self, src: int) -> list[int] | None:
+        """AS path from ``src`` to ``dst`` inclusive, or None if unreachable."""
+        if src not in self.next_hop:
+            return None
+        path = [src]
+        current = src
+        while current != self.dst:
+            nxt = self.next_hop[current]
+            assert nxt is not None, "non-destination node with null next hop"
+            path.append(nxt)
+            current = nxt
+            if len(path) > len(self.next_hop) + 1:
+                raise RuntimeError(f"routing loop toward AS{self.dst} via AS{src}")
+        return path
+
+
+class BGPRouting:
+    """Cached per-destination valley-free routing over an AS graph."""
+
+    def __init__(self, graph: ASGraph) -> None:
+        self._graph = graph
+        self._tables: dict[int, RouteTable] = {}
+
+    def table_for(self, dst: int) -> RouteTable:
+        """Return (building and caching if needed) the tree for ``dst``."""
+        table = self._tables.get(dst)
+        if table is None:
+            table = self._build(dst)
+            self._tables[dst] = table
+        return table
+
+    def as_path(self, src: int, dst: int) -> list[int] | None:
+        """Best AS path from ``src`` to ``dst`` (inclusive), or None."""
+        if src == dst:
+            return [src]
+        return self.table_for(dst).as_path(src)
+
+    def cached_destinations(self) -> int:
+        return len(self._tables)
+
+    # ------------------------------------------------------------------
+
+    def _build(self, dst: int) -> RouteTable:
+        graph = self._graph
+        graph.get(dst)  # raise early on unknown ASN
+        next_hop: dict[int, int | None] = {dst: None}
+        route_type: dict[int, RouteType] = {dst: RouteType.ORIGIN}
+        length: dict[int, int] = {dst: 0}
+
+        # Phase 1 — customer routes climb provider edges from the origin.
+        # Dijkstra with key (path length, next-hop ASN) for determinism.
+        heap: list[tuple[int, int, int]] = [(0, dst, dst)]
+        settled: set[int] = set()
+        while heap:
+            dist, _tie, node = heapq.heappop(heap)
+            if node in settled or dist > length.get(node, dist):
+                continue
+            settled.add(node)
+            for provider in sorted(graph.providers(node)):
+                cand = (dist + 1, node)
+                have = (length.get(provider, 1 << 30), next_hop.get(provider, 1 << 30) or 0)
+                if provider not in next_hop or cand < have:
+                    next_hop[provider] = node
+                    route_type[provider] = RouteType.CUSTOMER
+                    length[provider] = dist + 1
+                    heapq.heappush(heap, (dist + 1, node, provider))
+
+        customer_routed = set(next_hop)
+
+        # Phase 2 — peer routes: an AS hears the origin's (or a customer
+        # route holder's) announcement across one peer edge. Peer-learned
+        # routes do not propagate to other peers or providers.
+        for node in sorted(graph.asns()):
+            if node in customer_routed:
+                continue
+            best: tuple[int, int] | None = None
+            for peer in sorted(graph.peers(node)):
+                if peer in customer_routed:
+                    cand = (length[peer] + 1, peer)
+                    if best is None or cand < best:
+                        best = cand
+            if best is not None:
+                length[node] = best[0]
+                next_hop[node] = best[1]
+                route_type[node] = RouteType.PEER
+
+        # Phase 3 — provider routes cascade down customer edges; any route
+        # (customer, peer, or provider-learned) is exported to customers.
+        heap = [(length[node], node, node) for node in next_hop]
+        heapq.heapify(heap)
+        settled = set()
+        while heap:
+            dist, _tie, node = heapq.heappop(heap)
+            if node in settled or dist > length.get(node, dist):
+                continue
+            settled.add(node)
+            for customer in sorted(graph.customers(node)):
+                if customer in next_hop and route_type[customer] is not RouteType.PROVIDER:
+                    continue  # earlier phases always win
+                cand = (dist + 1, node)
+                have = (length.get(customer, 1 << 30), next_hop.get(customer) or 1 << 30)
+                if customer not in next_hop or cand < have:
+                    next_hop[customer] = node
+                    route_type[customer] = RouteType.PROVIDER
+                    length[customer] = dist + 1
+                    heapq.heappush(heap, (dist + 1, node, customer))
+
+        return RouteTable(dst=dst, next_hop=next_hop, route_type=route_type, path_length=length)

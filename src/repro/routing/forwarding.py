@@ -1,0 +1,243 @@
+"""Router-level path expansion: hot-potato exits and per-flow ECMP.
+
+Given an AS path, the forwarder picks the concrete interconnect used at
+each AS boundary the way real networks do:
+
+* **hot-potato** — among all interconnects between the current AS and the
+  next AS, prefer the one whose metro is geographically closest to where
+  the flow currently is (earliest exit);
+* **per-flow ECMP** — when several interconnects are equally close
+  (parallel links between the same border routers, or multiple links in
+  one metro), a deterministic hash of the flow key picks one, so distinct
+  flows spread across links while one flow is stable (Paris-traceroute
+  style).
+
+The result is a :class:`ForwardingPath`: the ordered router-level hops,
+each annotated with the interface that would answer a traceroute probe,
+plus the interdomain links crossed. RTT is derived from hop metro
+coordinates downstream in :mod:`repro.net`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.routing.bgp import BGPRouting
+from repro.topology.geo import city_by_code, geo_distance_km
+from repro.topology.internet import Internet
+from repro.topology.routers import Interconnect, Router, RouterRole
+
+
+@dataclass(frozen=True)
+class RouterHop:
+    """One router on a forwarding path.
+
+    ``reply_ip`` is the interface that answers traceroute probes: the
+    ingress interface of the interdomain link for border crossings, or the
+    router's core interface otherwise. ``entered_via_link`` is the
+    interconnect crossed to reach this router (None inside an AS).
+    """
+
+    router_id: int
+    asn: int
+    city_code: str
+    reply_ip: int
+    entered_via_link: int | None
+
+
+@dataclass(frozen=True)
+class ForwardingPath:
+    """Router-level realization of one flow's path."""
+
+    src_asn: int
+    dst_asn: int
+    as_path: tuple[int, ...]
+    hops: tuple[RouterHop, ...]
+    crossed_links: tuple[int, ...]  # interconnect ids in path order
+
+    def cities(self) -> list[str]:
+        return [hop.city_code for hop in self.hops]
+
+
+def flow_hash(*parts: object) -> int:
+    """Stable 32-bit hash of a flow key (no PYTHONHASHSEED dependence)."""
+    text = "|".join(str(p) for p in parts)
+    return zlib.crc32(text.encode("utf-8"))
+
+
+class Forwarder:
+    """Expands AS paths to router-level paths over one Internet instance."""
+
+    def __init__(self, internet: Internet, routing: BGPRouting | None = None) -> None:
+        self._internet = internet
+        self._routing = routing if routing is not None else BGPRouting(internet.graph)
+        self._distance_cache: dict[tuple[str, str], float] = {}
+
+    @property
+    def routing(self) -> BGPRouting:
+        return self._routing
+
+    def route_flow(
+        self,
+        src_asn: int,
+        src_city: str,
+        dst_asn: int,
+        dst_city: str,
+        flow_key: object,
+    ) -> ForwardingPath | None:
+        """Compute the router-level path for one flow, or None if unroutable.
+
+        ``flow_key`` identifies the flow for ECMP purposes; the same key
+        always takes the same path (which is what lets Paris traceroute
+        see the path an NDT flow used).
+        """
+        as_path = self._routing.as_path(src_asn, dst_asn)
+        if as_path is None:
+            return None
+
+        hops: list[RouterHop] = []
+        crossed: list[int] = []
+        current_city = src_city
+        self._append_core_hop(hops, src_asn, current_city, None)
+
+        for position in range(len(as_path) - 1):
+            current_as = as_path[position]
+            next_as = as_path[position + 1]
+            link = self._select_link(
+                current_as, next_as, current_city, dst_city, flow_key, position
+            )
+            if link is None:
+                return None  # AS adjacency with no fabric realization
+            near_router, near_ip, far_router, far_ip = self._orient(link, current_as)
+            if link.city_code != current_city:
+                # Backhaul across the current AS to the exit metro.
+                self._append_core_hop(hops, current_as, link.city_code, None)
+            hops.append(
+                RouterHop(
+                    router_id=near_router,
+                    asn=current_as,
+                    city_code=link.city_code,
+                    reply_ip=near_ip,
+                    entered_via_link=None,
+                )
+            )
+            hops.append(
+                RouterHop(
+                    router_id=far_router,
+                    asn=next_as,
+                    city_code=link.city_code,
+                    reply_ip=far_ip,
+                    entered_via_link=link.link_id,
+                )
+            )
+            crossed.append(link.link_id)
+            current_city = link.city_code
+
+        self._append_core_hop(hops, dst_asn, dst_city, None)
+        self._append_access_hop(hops, dst_asn, dst_city, flow_key)
+
+        return ForwardingPath(
+            src_asn=src_asn,
+            dst_asn=dst_asn,
+            as_path=tuple(as_path),
+            hops=tuple(hops),
+            crossed_links=tuple(crossed),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _append_core_hop(
+        self, hops: list[RouterHop], asn: int, city: str, link_id: int | None
+    ) -> None:
+        """Append the AS's core router in ``city`` if it has one there."""
+        core = self._internet.fabric.core_router_of(asn, city)
+        if core is None:
+            return
+        if hops and hops[-1].router_id == core.router_id:
+            return
+        interfaces = self._internet.fabric.interfaces_of(core.router_id)
+        if not interfaces:
+            return
+        hops.append(
+            RouterHop(
+                router_id=core.router_id,
+                asn=asn,
+                city_code=city,
+                reply_ip=interfaces[0].ip,
+                entered_via_link=link_id,
+            )
+        )
+
+    def _append_access_hop(
+        self, hops: list[RouterHop], asn: int, city: str, flow_key: object
+    ) -> None:
+        """Append a last-mile aggregation hop when the destination AS has one."""
+        access_routers = self._internet.fabric.access_routers_of(asn, city)
+        if not access_routers:
+            return
+        router = access_routers[flow_hash(flow_key, "access", asn, city) % len(access_routers)]
+        interfaces = self._internet.fabric.interfaces_of(router.router_id)
+        if not interfaces:
+            return
+        hops.append(
+            RouterHop(
+                router_id=router.router_id,
+                asn=asn,
+                city_code=city,
+                reply_ip=interfaces[0].ip,
+                entered_via_link=None,
+            )
+        )
+
+    def _city_distance(self, a: str, b: str) -> float:
+        if a == b:
+            return 0.0
+        key = (a, b) if a < b else (b, a)
+        cached = self._distance_cache.get(key)
+        if cached is None:
+            cached = geo_distance_km(city_by_code(a), city_by_code(b))
+            self._distance_cache[key] = cached
+        return cached
+
+    def _select_link(
+        self,
+        current_as: int,
+        next_as: int,
+        current_city: str,
+        dst_city: str,
+        flow_key: object,
+        position: int,
+    ) -> Interconnect | None:
+        """Pick the interconnect for one AS boundary.
+
+        Egress policy is a deterministic mix: for half of the
+        (AS pair, destination region) combinations the boundary honours the
+        next AS's MEDs and exits near the *destination* (cold potato); for
+        the rest it exits near the flow's current position (hot potato).
+        This mix is what lets a single server's tests cross interconnects
+        in several metros — the Table 2 observation (one Atlanta server's
+        AT&T tests crossing links in Atlanta, Washington DC, and New York).
+        """
+        candidates = self._internet.fabric.links_between(current_as, next_as)
+        if not candidates:
+            return None
+        honors_med = flow_hash("egress-policy", current_as, next_as, dst_city) % 2 == 0
+        anchor_city = dst_city if honors_med else current_city
+        best_distance = min(self._city_distance(anchor_city, c.city_code) for c in candidates)
+        nearest = sorted(
+            (c for c in candidates
+             if self._city_distance(anchor_city, c.city_code) <= best_distance + 1e-9),
+            key=lambda c: c.link_id,
+        )
+        index = flow_hash(flow_key, current_as, next_as, position) % len(nearest)
+        return nearest[index]
+
+    @staticmethod
+    def _orient(link: Interconnect, near_asn: int) -> tuple[int, int, int, int]:
+        """Return (near_router, near_ip, far_router, far_ip) for ``near_asn``."""
+        if link.a_asn == near_asn:
+            return link.a_router_id, link.a_ip, link.b_router_id, link.b_ip
+        if link.b_asn == near_asn:
+            return link.b_router_id, link.b_ip, link.a_router_id, link.a_ip
+        raise ValueError(f"AS{near_asn} not an endpoint of link {link.link_id}")

@@ -1,0 +1,28 @@
+"""Statistical helpers for diurnal analysis and crowdsourcing-bias metrics."""
+
+from repro.stats.diurnal_bins import HourlyBin, HourlySeries, bin_hourly
+from repro.stats.bias import (
+    hour_sample_imbalance,
+    plan_variance_ratio,
+    bootstrap_mean_ci,
+)
+from repro.stats.significance import MannWhitneyResult, mann_whitney_u
+from repro.stats.stratification import (
+    StratifiedSeries,
+    estimate_plan_tiers,
+    stratify,
+)
+
+__all__ = [
+    "HourlyBin",
+    "HourlySeries",
+    "MannWhitneyResult",
+    "StratifiedSeries",
+    "bin_hourly",
+    "bootstrap_mean_ci",
+    "estimate_plan_tiers",
+    "hour_sample_imbalance",
+    "mann_whitney_u",
+    "plan_variance_ratio",
+    "stratify",
+]

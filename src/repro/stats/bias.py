@@ -1,0 +1,83 @@
+"""Crowdsourcing-bias metrics (§6.1) and bootstrap confidence intervals.
+
+Three quantities the paper identifies as confounders become measurable
+statistics here:
+
+* **time-of-day imbalance** — how unevenly samples spread over the day;
+* **plan variance inflation** — how much of the observed throughput
+  variance is attributable to service-plan spread rather than path state;
+* **bootstrap CI** — the honest error bars the hourly medians should have
+  carried, given the thin off-peak bins.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.util.rng import derive_random
+
+
+def hour_sample_imbalance(counts: Sequence[int]) -> float:
+    """Coefficient of variation of hourly sample counts.
+
+    0 means perfectly even sampling; the crowdsourced evening bias
+    typically produces values around 0.5–1.0.
+    """
+    if len(counts) == 0:
+        raise ValueError("no counts")
+    mean = sum(counts) / len(counts)
+    if mean == 0:
+        return 0.0
+    variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+    return math.sqrt(variance) / mean
+
+
+def plan_variance_ratio(
+    throughputs: Sequence[float], plans: Sequence[float]
+) -> float:
+    """Fraction of throughput variance explained by service-plan variance.
+
+    Computed as 1 − Var(residual)/Var(total), where the residual is
+    throughput normalized by plan rate. Values near 1 mean the sample mix
+    of plans, not the network, dominates what the aggregate shows.
+    """
+    if len(throughputs) != len(plans) or len(throughputs) < 2:
+        raise ValueError("need two or more paired samples")
+    total_var = _variance(throughputs)
+    if total_var == 0:
+        return 0.0
+    ratios = [t / p for t, p in zip(throughputs, plans) if p > 0]
+    mean_plan = sum(plans) / len(plans)
+    residual = [r * mean_plan for r in ratios]
+    residual_var = _variance(residual)
+    return max(0.0, min(1.0, 1.0 - residual_var / total_var))
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    iterations: int = 1000,
+    seed: int = 7,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    if not values:
+        raise ValueError("no values")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence out of range: {confidence}")
+    rng = derive_random(seed, "bootstrap")
+    n = len(values)
+    means = []
+    for _ in range(iterations):
+        resample = [values[rng.randrange(n)] for _ in range(n)]
+        means.append(sum(resample) / n)
+    means.sort()
+    alpha = (1.0 - confidence) / 2.0
+    low_index = int(alpha * iterations)
+    high_index = min(iterations - 1, int((1.0 - alpha) * iterations))
+    return means[low_index], means[high_index]
+
+
+def _variance(values: Sequence[float]) -> float:
+    mean = sum(values) / len(values)
+    return sum((v - mean) ** 2 for v in values) / len(values)

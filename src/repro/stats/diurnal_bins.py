@@ -1,0 +1,119 @@
+"""Hourly binning of measurements — the Figure 5 primitive.
+
+The M-Lab reports track the *median* per hour; §6.1 argues that medians
+hide the variance and sample-count imbalance that crowdsourcing produces,
+so :class:`HourlyBin` carries mean, median, standard deviation, and count
+together — everything both the paper's figure and its critique need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class HourlyBin:
+    """Summary of the values falling in one local hour [h, h+1)."""
+
+    hour: int
+    count: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @staticmethod
+    def empty(hour: int) -> "HourlyBin":
+        return HourlyBin(hour=hour, count=0, mean=math.nan, median=math.nan,
+                         std=math.nan, minimum=math.nan, maximum=math.nan)
+
+
+@dataclass(frozen=True)
+class HourlySeries:
+    """24 hourly bins plus convenience accessors."""
+
+    bins: tuple[HourlyBin, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.bins) != 24:
+            raise ValueError(f"expected 24 bins, got {len(self.bins)}")
+
+    def counts(self) -> list[int]:
+        return [b.count for b in self.bins]
+
+    def medians(self) -> list[float]:
+        return [b.median for b in self.bins]
+
+    def means(self) -> list[float]:
+        return [b.mean for b in self.bins]
+
+    def total_count(self) -> int:
+        return sum(b.count for b in self.bins)
+
+    def peak_hours_median(self, hours: Sequence[int] = (19, 20, 21, 22)) -> float:
+        """Median-of-medians over the evening peak hours with data."""
+        values = [self.bins[h].median for h in hours if self.bins[h].count > 0]
+        return _median(values) if values else math.nan
+
+    def offpeak_hours_median(self, hours: Sequence[int] = (9, 10, 11, 12, 13, 14, 15, 16)) -> float:
+        """Median-of-medians over daytime off-peak hours with data.
+
+        Daytime (rather than overnight) off-peak is deliberate: overnight
+        bins often hold almost no crowdsourced samples (§6.1), and the
+        M-Lab methodology itself compares evening to business hours.
+        """
+        values = [self.bins[h].median for h in hours if self.bins[h].count > 0]
+        return _median(values) if values else math.nan
+
+    def relative_peak_drop(self) -> float:
+        """Fractional drop of peak median below off-peak median (0 if none)."""
+        off = self.offpeak_hours_median()
+        peak = self.peak_hours_median()
+        if math.isnan(off) or math.isnan(peak) or off <= 0:
+            return math.nan
+        return max(0.0, (off - peak) / off)
+
+
+def bin_hourly(
+    samples: Iterable[tuple[float, float]],
+) -> HourlySeries:
+    """Bin (local_hour, value) samples into 24 hourly summaries."""
+    buckets: list[list[float]] = [[] for _ in range(24)]
+    for hour, value in samples:
+        index = int(hour) % 24
+        buckets[index].append(value)
+    bins = []
+    for hour, values in enumerate(buckets):
+        if not values:
+            bins.append(HourlyBin.empty(hour))
+            continue
+        values.sort()
+        count = len(values)
+        mean = sum(values) / count
+        variance = sum((v - mean) ** 2 for v in values) / count
+        bins.append(
+            HourlyBin(
+                hour=hour,
+                count=count,
+                mean=mean,
+                median=_median(values),
+                std=math.sqrt(variance),
+                minimum=values[0],
+                maximum=values[-1],
+            )
+        )
+    return HourlySeries(bins=tuple(bins))
+
+
+def _median(sorted_or_unsorted: list[float]) -> float:
+    values = sorted(sorted_or_unsorted)
+    n = len(values)
+    if n == 0:
+        return math.nan
+    mid = n // 2
+    if n % 2 == 1:
+        return values[mid]
+    return 0.5 * (values[mid - 1] + values[mid])

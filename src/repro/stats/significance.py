@@ -1,0 +1,89 @@
+"""Nonparametric significance testing for peak vs off-peak comparisons.
+
+§6.1's complaint about the M-Lab analyses is statistical: medians were
+compared across hours with wildly different sample counts and no
+significance assessment. The Mann-Whitney U test (implemented from
+scratch — no scipy dependency required at runtime) is the right tool for
+"are peak-hour throughputs drawn from a lower distribution than off-peak
+ones": it is rank-based, so service-plan heterogeneity does not violate
+its assumptions the way it wrecks t-tests.
+
+The normal approximation with tie correction is used; for the sample
+sizes of hourly NDT aggregates (tens to thousands) it is accurate to
+three decimals against exact enumeration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class MannWhitneyResult:
+    """Outcome of a one-sided Mann-Whitney U test (is A < B?)."""
+
+    u_statistic: float
+    z_score: float
+    p_value: float  # P(observing this U | A and B share a distribution)
+    n_a: int
+    n_b: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def mann_whitney_u(
+    sample_a: Sequence[float],
+    sample_b: Sequence[float],
+) -> MannWhitneyResult:
+    """One-sided test that ``sample_a`` is stochastically *smaller* than
+    ``sample_b`` (peak throughputs vs off-peak throughputs).
+
+    Raises ValueError when either sample is empty or both are constant and
+    equal (no ordering information at all).
+    """
+    n_a, n_b = len(sample_a), len(sample_b)
+    if n_a == 0 or n_b == 0:
+        raise ValueError("both samples must be non-empty")
+
+    combined = [(value, 0) for value in sample_a] + [(value, 1) for value in sample_b]
+    combined.sort(key=lambda pair: pair[0])
+
+    # Midranks with tie bookkeeping.
+    ranks = [0.0] * len(combined)
+    tie_correction = 0.0
+    index = 0
+    while index < len(combined):
+        end = index
+        while end + 1 < len(combined) and combined[end + 1][0] == combined[index][0]:
+            end += 1
+        midrank = (index + end) / 2.0 + 1.0
+        for position in range(index, end + 1):
+            ranks[position] = midrank
+        tie_size = end - index + 1
+        if tie_size > 1:
+            tie_correction += tie_size**3 - tie_size
+        index = end + 1
+
+    rank_sum_a = sum(
+        rank for rank, (_value, group) in zip(ranks, combined) if group == 0
+    )
+    u_a = rank_sum_a - n_a * (n_a + 1) / 2.0
+
+    total = n_a + n_b
+    mean_u = n_a * n_b / 2.0
+    variance = (
+        n_a * n_b / 12.0
+    ) * ((total + 1) - tie_correction / (total * (total - 1)))
+    if variance <= 0:
+        raise ValueError("degenerate samples: all values tied")
+    # Continuity-corrected z for the one-sided "A smaller" alternative.
+    z = (u_a - mean_u + 0.5) / math.sqrt(variance)
+    p = _normal_cdf(z)
+    return MannWhitneyResult(u_statistic=u_a, z_score=z, p_value=p, n_a=n_a, n_b=n_b)
+
+
+def _normal_cdf(z: float) -> float:
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))

@@ -1,0 +1,139 @@
+"""Service-plan stratification of crowdsourced throughput samples.
+
+§6.1: "Service plan variance. ... an ISP could offer service plans with
+capacities that vary by an order of magnitude", and §7 recommends "more
+careful stratification of test results". The confound: if 200 Mbps
+subscribers test mostly in the evening and 25 Mbps subscribers at noon
+(or vice versa), the hourly *aggregate* median moves with the sample mix,
+not the network.
+
+The platform never knows the plan, but it can estimate one per client:
+the maximum throughput a client ever achieved off-peak is a lower bound
+on (and in practice close to) the plan rate. Stratification then:
+
+1. estimate each client's tier from its own history;
+2. bucket tiers into strata;
+3. within each (stratum, hour), compute the median of *normalized*
+   throughput (achieved / estimated tier);
+4. combine strata with fixed weights (each stratum's overall share), so
+   every hour is evaluated against the same plan mix.
+
+The result is an hourly utilization-of-plan series immune to sample-mix
+drift — a diurnal dip that survives stratification is a path effect.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.measurement.records import NDTRecord
+from repro.stats.diurnal_bins import HourlySeries, bin_hourly
+
+#: Stratum boundaries in Mbps (chosen to split typical plan tiers).
+DEFAULT_STRATA_MBPS: tuple[float, ...] = (15.0, 35.0, 75.0, 150.0)
+
+
+@dataclass(frozen=True)
+class StratifiedSeries:
+    """Per-stratum hourly series plus the fixed-mix combination."""
+
+    strata_bounds_mbps: tuple[float, ...]
+    per_stratum: dict[int, HourlySeries]
+    stratum_weights: dict[int, float]
+    #: Fixed-mix hourly median of throughput/plan-estimate (0..~1).
+    combined_utilization: tuple[float, ...]
+
+    def utilization_drop(self) -> float:
+        """Peak vs off-peak drop of the stratified utilization series."""
+        off = _median_over(self.combined_utilization, (9, 10, 11, 12, 13, 14, 15, 16))
+        peak = _median_over(self.combined_utilization, (19, 20, 21, 22))
+        if math.isnan(off) or off <= 0 or math.isnan(peak):
+            return math.nan
+        return max(0.0, (off - peak) / off)
+
+
+def estimate_plan_tiers(
+    records: Iterable[NDTRecord],
+    offpeak_hours: tuple[int, ...] = tuple(range(0, 17)),
+) -> dict[int, float]:
+    """Per-client plan estimate: max throughput achieved outside the peak.
+
+    Clients seen only at peak get their overall max (an underestimate when
+    the path was congested — stratification can only be as good as the
+    sampling, which is itself the §6.1 point).
+    """
+    best_offpeak: dict[int, float] = defaultdict(float)
+    best_any: dict[int, float] = defaultdict(float)
+    for record in records:
+        best_any[record.client_ip] = max(best_any[record.client_ip], record.download_bps)
+        if int(record.local_hour) in offpeak_hours:
+            best_offpeak[record.client_ip] = max(
+                best_offpeak[record.client_ip], record.download_bps
+            )
+    return {
+        client: best_offpeak[client] if best_offpeak[client] > 0 else best_any[client]
+        for client in best_any
+    }
+
+
+def stratify(
+    records: Sequence[NDTRecord],
+    strata_bounds_mbps: tuple[float, ...] = DEFAULT_STRATA_MBPS,
+) -> StratifiedSeries:
+    """Build the stratified, fixed-mix utilization series."""
+    if not records:
+        raise ValueError("no records to stratify")
+    tiers = estimate_plan_tiers(records)
+
+    def stratum_of(client_ip: int) -> int:
+        tier_mbps = tiers[client_ip] / 1e6
+        for index, bound in enumerate(strata_bounds_mbps):
+            if tier_mbps < bound:
+                return index
+        return len(strata_bounds_mbps)
+
+    by_stratum: dict[int, list[NDTRecord]] = defaultdict(list)
+    for record in records:
+        by_stratum[stratum_of(record.client_ip)].append(record)
+
+    total = len(records)
+    weights = {index: len(group) / total for index, group in by_stratum.items()}
+    per_stratum = {
+        index: bin_hourly(
+            (r.local_hour, r.download_bps / max(1.0, tiers[r.client_ip]))
+            for r in group
+        )
+        for index, group in by_stratum.items()
+    }
+
+    combined = []
+    for hour in range(24):
+        numerator = 0.0
+        weight_with_data = 0.0
+        for index, series in per_stratum.items():
+            hourly = series.bins[hour]
+            if hourly.count == 0 or math.isnan(hourly.median):
+                continue
+            numerator += weights[index] * hourly.median
+            weight_with_data += weights[index]
+        combined.append(numerator / weight_with_data if weight_with_data > 0 else math.nan)
+
+    return StratifiedSeries(
+        strata_bounds_mbps=strata_bounds_mbps,
+        per_stratum=per_stratum,
+        stratum_weights=weights,
+        combined_utilization=tuple(combined),
+    )
+
+
+def _median_over(values: Sequence[float], hours: tuple[int, ...]) -> float:
+    present = sorted(values[h] for h in hours if not math.isnan(values[h]))
+    if not present:
+        return math.nan
+    mid = len(present) // 2
+    if len(present) % 2 == 1:
+        return present[mid]
+    return 0.5 * (present[mid - 1] + present[mid])

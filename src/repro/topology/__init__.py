@@ -1,0 +1,48 @@
+"""Synthetic Internet topology substrate.
+
+The topology package generates a seeded, ground-truth-annotated model of the
+Internet regions the paper studies: an AS-level graph with business
+relationships and sibling organizations, IPv4 address space per AS,
+router-level interconnection fabric across US metro areas (including
+parallel links and IXP fabrics), and reverse-DNS names for router
+interfaces. All downstream measurement and inference code consumes this
+model; ground truth stays attached so inference accuracy is measurable.
+"""
+
+from repro.topology.addressing import PrefixAllocator, PrefixTable
+from repro.topology.asgraph import AS, ASGraph, ASRole, Relationship
+from repro.topology.generator import InternetConfig, generate_internet
+from repro.topology.geo import CITIES, City, geo_distance_km, propagation_delay_ms
+from repro.topology.internet import Internet
+from repro.topology.isp_data import BROADBAND_PROVIDERS_Q3_2015, BroadbandProvider
+from repro.topology.orgs import Organization, OrgMap
+from repro.topology.routers import (
+    Interconnect,
+    Interface,
+    Router,
+    RouterFabric,
+)
+
+__all__ = [
+    "AS",
+    "ASGraph",
+    "ASRole",
+    "BROADBAND_PROVIDERS_Q3_2015",
+    "BroadbandProvider",
+    "CITIES",
+    "City",
+    "Interconnect",
+    "Interface",
+    "Internet",
+    "InternetConfig",
+    "Organization",
+    "OrgMap",
+    "PrefixAllocator",
+    "PrefixTable",
+    "Relationship",
+    "Router",
+    "RouterFabric",
+    "generate_internet",
+    "geo_distance_km",
+    "propagation_delay_ms",
+]

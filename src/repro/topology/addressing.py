@@ -1,0 +1,145 @@
+"""IPv4 address space allocation and longest-prefix matching.
+
+Two pieces live here:
+
+* :class:`PrefixAllocator` hands out non-overlapping prefixes from a pool,
+  mimicking RIR allocation — each AS receives one or more prefixes sized to
+  its role, and point-to-point interdomain links are numbered from /30 or
+  /31 subnets carved out of *either* endpoint's space (the ambiguity that
+  makes AS-boundary inference hard, per Luckie et al. and §4.2).
+
+* :class:`PrefixTable` is a binary-trie longest-prefix matcher mapping an
+  address to its originating AS — the synthetic equivalent of CAIDA's
+  BGP-derived prefix-to-AS dataset that both MAP-IT and bdrmap consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.ip import format_ip, prefix_netmask, prefix_size, prefix_str
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """An allocated prefix and the AS it is registered to."""
+
+    base: int
+    length: int
+    asn: int
+
+    def __str__(self) -> str:
+        return f"{prefix_str(self.base, self.length)} (AS{self.asn})"
+
+    def contains(self, ip: int) -> bool:
+        mask = prefix_netmask(self.length)
+        return (ip & mask) == (self.base & mask)
+
+
+class PrefixAllocator:
+    """Sequential, non-overlapping prefix allocator.
+
+    Allocation is strictly increasing within the pool, so it is
+    deterministic given the sequence of requests. The pool spans
+    ``pool_base/pool_length``.
+    """
+
+    def __init__(self, pool_base: int, pool_length: int = 8) -> None:
+        self._pool_base = pool_base & prefix_netmask(pool_length)
+        self._pool_end = self._pool_base + prefix_size(pool_length)
+        self._cursor = self._pool_base
+
+    @property
+    def remaining(self) -> int:
+        """Number of addresses still unallocated in the pool."""
+        return self._pool_end - self._cursor
+
+    def allocate(self, length: int, asn: int) -> Prefix:
+        """Allocate the next available prefix of the given length.
+
+        The cursor is aligned up to the prefix's natural boundary, so
+        allocations never overlap.
+
+        Raises :class:`MemoryError` analogue (`RuntimeError`) when the pool
+        is exhausted.
+        """
+        size = prefix_size(length)
+        base = (self._cursor + size - 1) & ~(size - 1) & 0xFFFFFFFF
+        if base + size > self._pool_end:
+            raise RuntimeError(
+                f"address pool exhausted allocating /{length} "
+                f"(cursor at {format_ip(self._cursor)})"
+            )
+        self._cursor = base + size
+        return Prefix(base=base, length=length, asn=asn)
+
+
+class _TrieNode:
+    __slots__ = ("children", "prefix")
+
+    def __init__(self) -> None:
+        self.children: list[_TrieNode | None] = [None, None]
+        self.prefix: Prefix | None = None
+
+
+class PrefixTable:
+    """Longest-prefix-match table from IPv4 address to originating AS.
+
+    This mirrors the role of CAIDA's prefix-to-AS mapping in the paper: the
+    inference algorithms (MAP-IT, bdrmap) look up traceroute hop addresses
+    here, and — exactly as in the real data — the lookup can be misleading
+    for border interfaces numbered out of the neighbour's space.
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, prefix: Prefix) -> None:
+        """Insert a prefix; an exact duplicate (same base/length) is replaced."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.base >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _TrieNode()
+                node.children[bit] = child
+            node = child
+        if node.prefix is None:
+            self._count += 1
+        node.prefix = prefix
+
+    def lookup(self, ip: int) -> Prefix | None:
+        """Return the longest matching prefix for ``ip``, or None."""
+        node = self._root
+        best = node.prefix
+        for depth in range(32):
+            bit = (ip >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.prefix is not None:
+                best = node.prefix
+        return best
+
+    def origin_asn(self, ip: int) -> int | None:
+        """Return the origin ASN for ``ip`` per longest-prefix match, or None."""
+        match = self.lookup(ip)
+        return None if match is None else match.asn
+
+    def prefixes(self) -> list[Prefix]:
+        """All prefixes in the table, in trie (address) order."""
+        result: list[Prefix] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.prefix is not None:
+                result.append(node.prefix)
+            for child in reversed(node.children):
+                if child is not None:
+                    stack.append(child)
+        return result

@@ -1,0 +1,154 @@
+"""AS-level graph: autonomous systems and their business relationships.
+
+The relationship model follows Gao-Rexford: an edge between two ASes is
+either *customer-provider* (traffic flows freely toward the customer, and
+the customer pays) or *peer-peer* (settlement-free exchange between the two
+ASes' customer cones only). Sibling ASes — distinct ASNs operated by one
+organization, e.g. Comcast's AS7922/AS7725/AS22909 — are tracked in
+:mod:`repro.topology.orgs` and treated as one AS hop by the analyses, as in
+§4.2 of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ASRole(enum.Enum):
+    """Functional role of an AS in the synthetic Internet."""
+
+    TIER1 = "tier1"  # settlement-free core transit (Level3, Cogent, GTT...)
+    TRANSIT = "transit"  # regional transit; typical M-Lab server hosts
+    ACCESS = "access"  # residential broadband (Comcast, AT&T...)
+    CONTENT = "content"  # content/CDN networks serving popular web content
+    STUB = "stub"  # small customer ASes (enterprises, universities)
+
+
+class Relationship(enum.Enum):
+    """Directed relationship from an AS to a neighbour."""
+
+    CUSTOMER = "customer"  # neighbour is my customer
+    PROVIDER = "provider"  # neighbour is my provider
+    PEER = "peer"  # settlement-free peer
+
+    def inverse(self) -> "Relationship":
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+@dataclass
+class AS:
+    """An autonomous system.
+
+    ``home_cities`` lists metro codes where the AS has PoPs; access ISPs
+    additionally carry a subscriber weight that drives client density.
+    """
+
+    asn: int
+    name: str
+    role: ASRole
+    home_cities: tuple[str, ...] = ()
+    subscriber_weight: float = 0.0
+
+    def __str__(self) -> str:
+        return f"AS{self.asn}({self.name})"
+
+
+class ASGraph:
+    """The AS-level graph with relationship-annotated edges.
+
+    Neighbour sets are kept as ``{neighbour_asn: Relationship}`` per AS.
+    Both directions are stored, inverse-consistent by construction.
+    """
+
+    def __init__(self) -> None:
+        self._ases: dict[int, AS] = {}
+        self._neighbors: dict[int, dict[int, Relationship]] = {}
+
+    def __len__(self) -> int:
+        return len(self._ases)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._ases
+
+    def __iter__(self):
+        return iter(self._ases.values())
+
+    def add_as(self, autonomous_system: AS) -> None:
+        if autonomous_system.asn in self._ases:
+            raise ValueError(f"duplicate ASN {autonomous_system.asn}")
+        self._ases[autonomous_system.asn] = autonomous_system
+        self._neighbors[autonomous_system.asn] = {}
+
+    def get(self, asn: int) -> AS:
+        try:
+            return self._ases[asn]
+        except KeyError:
+            raise KeyError(f"unknown ASN {asn}") from None
+
+    def add_edge(self, a: int, b: int, rel_of_a: Relationship) -> None:
+        """Add an edge where ``b`` stands in ``rel_of_a`` relation to ``a``.
+
+        ``add_edge(7922, 3356, Relationship.PEER)`` records 3356 as a peer
+        of 7922 and vice versa; ``Relationship.CUSTOMER`` records ``b`` as
+        ``a``'s customer.
+        """
+        if a == b:
+            raise ValueError(f"self-loop on ASN {a}")
+        self.get(a)
+        self.get(b)
+        existing = self._neighbors[a].get(b)
+        if existing is not None and existing is not rel_of_a:
+            raise ValueError(
+                f"conflicting relationship between AS{a} and AS{b}: "
+                f"{existing.value} vs {rel_of_a.value}"
+            )
+        self._neighbors[a][b] = rel_of_a
+        self._neighbors[b][a] = rel_of_a.inverse()
+
+    def relationship(self, a: int, b: int) -> Relationship | None:
+        """Relationship of ``b`` from ``a``'s point of view, or None."""
+        return self._neighbors.get(a, {}).get(b)
+
+    def neighbors(self, asn: int) -> dict[int, Relationship]:
+        """Neighbour map of an AS (read-only by convention)."""
+        self.get(asn)
+        return self._neighbors[asn]
+
+    def customers(self, asn: int) -> list[int]:
+        return [n for n, rel in self.neighbors(asn).items() if rel is Relationship.CUSTOMER]
+
+    def providers(self, asn: int) -> list[int]:
+        return [n for n, rel in self.neighbors(asn).items() if rel is Relationship.PROVIDER]
+
+    def peers(self, asn: int) -> list[int]:
+        return [n for n, rel in self.neighbors(asn).items() if rel is Relationship.PEER]
+
+    def ases_by_role(self, role: ASRole) -> list[AS]:
+        return [a for a in self._ases.values() if a.role is role]
+
+    def asns(self) -> list[int]:
+        return sorted(self._ases)
+
+    def edge_count(self) -> int:
+        return sum(len(neigh) for neigh in self._neighbors.values()) // 2
+
+    def customer_cone(self, asn: int) -> set[int]:
+        """All ASes reachable by repeatedly descending customer edges.
+
+        Includes ``asn`` itself. Used by valley-free routing and by
+        AS-rank-style relationship summaries.
+        """
+        cone: set[int] = set()
+        stack = [asn]
+        while stack:
+            current = stack.pop()
+            if current in cone:
+                continue
+            cone.add(current)
+            stack.extend(self.customers(current))
+        return cone

@@ -1,0 +1,89 @@
+"""Geography: US metro areas, distances, and propagation delay.
+
+The paper's analyses repeatedly hinge on geography — M-Lab selects servers
+by proximity, interdomain links between the same two ASes sit in different
+metros (Table 2 finds Level3→AT&T links in Atlanta, Washington DC, and New
+York), and congestion has regional effects. We model a fixed set of US
+metros with real coordinates; propagation delay follows great-circle
+distance at 2/3 the speed of light in fiber with a route-inflation factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Speed of light in fiber is roughly 2e8 m/s; real paths are not
+# great-circle, so an inflation factor is applied on top.
+_FIBER_KM_PER_MS = 200.0
+_ROUTE_INFLATION = 1.6
+
+
+@dataclass(frozen=True)
+class City:
+    """A US metro area that can host PoPs, servers, and clients."""
+
+    code: str
+    name: str
+    lat: float
+    lon: float
+    population_weight: float
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Metro areas used by the generator. Population weights are relative and
+#: drive both client density and PoP placement.
+CITIES: tuple[City, ...] = (
+    City("nyc", "NewYork", 40.7128, -74.0060, 10.0),
+    City("lax", "LosAngeles", 34.0522, -118.2437, 7.0),
+    City("chi", "Chicago", 41.8781, -87.6298, 5.5),
+    City("dfw", "Dallas", 32.7767, -96.7970, 4.5),
+    City("hou", "Houston", 29.7604, -95.3698, 4.0),
+    City("was", "WashingtonDC", 38.9072, -77.0369, 4.0),
+    City("mia", "Miami", 25.7617, -80.1918, 3.5),
+    City("phl", "Philadelphia", 39.9526, -75.1652, 3.5),
+    City("atl", "Atlanta", 33.7490, -84.3880, 3.5),
+    City("bos", "Boston", 42.3601, -71.0589, 3.0),
+    City("phx", "Phoenix", 33.4484, -112.0740, 2.8),
+    City("sfo", "SanFrancisco", 37.7749, -122.4194, 2.8),
+    City("sea", "Seattle", 47.6062, -122.3321, 2.5),
+    City("den", "Denver", 39.7392, -104.9903, 2.2),
+    City("sjc", "SanJose", 37.3382, -121.8863, 2.0),
+    City("min", "Minneapolis", 44.9778, -93.2650, 2.0),
+    City("tpa", "Tampa", 27.9506, -82.4572, 1.8),
+    City("stl", "StLouis", 38.6270, -90.1994, 1.6),
+    City("slc", "SaltLakeCity", 40.7608, -111.8910, 1.2),
+    City("kcy", "KansasCity", 39.0997, -94.5786, 1.2),
+)
+
+_CITY_BY_CODE = {city.code: city for city in CITIES}
+
+
+def city_by_code(code: str) -> City:
+    """Look up a city by its three-letter code."""
+    try:
+        return _CITY_BY_CODE[code]
+    except KeyError:
+        raise KeyError(f"unknown city code: {code!r}") from None
+
+
+def geo_distance_km(a: City, b: City) -> float:
+    """Great-circle distance between two cities in kilometres (haversine)."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * 6371.0 * math.asin(math.sqrt(h))
+
+
+def propagation_delay_ms(a: City, b: City) -> float:
+    """One-way propagation delay between two cities in milliseconds.
+
+    Includes a fixed route-inflation factor over the great-circle path; a
+    city to itself still pays a small metro-area floor.
+    """
+    distance = geo_distance_km(a, b)
+    return max(0.2, distance * _ROUTE_INFLATION / _FIBER_KM_PER_MS)

@@ -1,0 +1,114 @@
+"""The assembled synthetic Internet: one object bundling all ground truth.
+
+:class:`Internet` is what the generator returns and what every downstream
+layer (routing, measurement platforms, inference validation) consumes. It
+deliberately keeps *two* views of address ownership:
+
+* :attr:`prefix_table` — the public, BGP-derived view (longest-prefix
+  match), which is what inference algorithms are allowed to use, and which
+  is wrong for border interfaces numbered from the neighbour's space;
+* :meth:`true_owner_asn` — ground truth from the router fabric, reserved
+  for validation and never passed to inference code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.addressing import Prefix, PrefixTable
+from repro.topology.asgraph import AS, ASGraph, ASRole, Relationship
+from repro.topology.dns import ReverseDNS
+from repro.topology.geo import CITIES, City, city_by_code
+from repro.topology.ixp import IXPRegistry
+from repro.topology.routers import Interconnect, RouterFabric
+
+
+@dataclass
+class Internet:
+    """All topology state for one generated Internet instance."""
+
+    seed: int
+    graph: ASGraph
+    orgs: "OrgMap"
+    fabric: RouterFabric
+    ixps: IXPRegistry
+    rdns: ReverseDNS
+    prefix_table: PrefixTable
+    #: Prefixes where an AS's end hosts (clients, servers) live.
+    client_prefixes: dict[int, list[Prefix]] = field(default_factory=dict)
+    #: Prefixes used for router interfaces and border numbering.
+    infra_prefixes: dict[int, list[Prefix]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # convenience lookups
+
+    def city(self, code: str) -> City:
+        return city_by_code(code)
+
+    def cities(self) -> tuple[City, ...]:
+        return CITIES
+
+    def as_named(self, name: str) -> AS:
+        """Find an AS by exact name (names are unique in generated Internets)."""
+        for autonomous_system in self.graph:
+            if autonomous_system.name == name:
+                return autonomous_system
+        raise KeyError(f"no AS named {name!r}")
+
+    def access_asns(self) -> list[int]:
+        return sorted(a.asn for a in self.graph.ases_by_role(ASRole.ACCESS))
+
+    def true_owner_asn(self, ip: int) -> int | None:
+        """Ground-truth AS owning the device behind ``ip``.
+
+        Router interfaces resolve via the fabric (correct even for border
+        interfaces numbered from the neighbour's space); end-host addresses
+        resolve via client prefixes.
+        """
+        owner = self.fabric.owner_asn_of_ip(ip)
+        if owner is not None:
+            return owner
+        match = self.prefix_table.lookup(ip)
+        if match is None:
+            return None
+        # Client space is always numbered from its own AS, so LPM is truth
+        # there; infra space may number borders for the neighbour, but those
+        # IPs were caught by the fabric lookup above.
+        return match.asn
+
+    def routed_prefixes(self) -> list[Prefix]:
+        """Every prefix announced into BGP (client + infra), as bdrmap targets."""
+        return self.prefix_table.prefixes()
+
+    def interconnects_of_org(self, asn: int) -> list[Interconnect]:
+        """All interdomain links whose endpoint belongs to ``asn``'s org."""
+        siblings = self.orgs.siblings(asn)
+        seen: set[int] = set()
+        result: list[Interconnect] = []
+        for sibling in sorted(siblings):
+            for link in self.fabric.links_of_as(sibling):
+                if link.link_id not in seen:
+                    seen.add(link.link_id)
+                    result.append(link)
+        return result
+
+    def relationship_of_link(self, link: Interconnect, from_asn: int) -> Relationship | None:
+        """Business relationship of the far end of ``link`` as seen from ``from_asn``."""
+        return self.graph.relationship(from_asn, link.other_asn(from_asn))
+
+    def summary(self) -> dict[str, int]:
+        """Headline sizes, useful in logs and docs."""
+        return {
+            "ases": len(self.graph),
+            "as_edges": self.graph.edge_count(),
+            "routers": self.fabric.router_count(),
+            "interconnects": self.fabric.interconnect_count(),
+            "prefixes": len(self.prefix_table),
+            "ixps": len(self.ixps),
+            "orgs": len(self.orgs),
+        }
+
+
+# Imported late to avoid a cycle in type checking tools that resolve
+# annotations eagerly; OrgMap is only referenced by name above.
+from repro.topology.orgs import OrgMap  # noqa: E402  (intentional tail import)

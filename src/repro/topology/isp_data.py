@@ -1,0 +1,73 @@
+"""Table 1 dataset: US broadband providers with >1M subscribers (Q3 2015).
+
+This is the one artifact of the paper that is a static dataset rather than
+a measurement: the subscriber counts the paper retrieved from Wikipedia's
+page history. The generator uses it to size the synthetic access ISPs
+(client density, interconnect richness), and the Table 1 "experiment"
+simply renders it.
+
+``mlab_adjacency`` encodes the paper's §4.2 finding of how often M-Lab
+server ASes were directly connected to each ISP (Figure 1) — the generator
+targets these fractions when wiring access ISPs to the transit ASes that
+host M-Lab servers, so Figure 1's shape is reproduced mechanistically
+rather than hard-coded into any analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BroadbandProvider:
+    """One row of Table 1, extended with generator-facing parameters."""
+
+    name: str
+    subscribers_q3_2015: int
+    #: Fraction of NDT paths expected to reach this ISP in one AS hop
+    #: (paper §4.2 / Figure 1); None when the paper gives no number.
+    one_hop_fraction: float | None
+    #: Number of sibling ASNs operated by the organization.
+    sibling_count: int
+    #: Relative volume of NDT traceroutes matched in May 2015 (Figure 1
+    #: bar annotations, thousands); None for ISPs absent from Figure 1.
+    fig1_test_count_k: float | None
+
+
+#: Table 1 of the paper, in subscriber order.
+BROADBAND_PROVIDERS_Q3_2015: tuple[BroadbandProvider, ...] = (
+    BroadbandProvider("Comcast", 23_329_000, 0.96, 3, 117.0),
+    BroadbandProvider("ATT", 15_778_000, 0.91, 2, 89.0),
+    BroadbandProvider("TimeWarnerCable", 13_313_000, 0.75, 2, 56.0),
+    BroadbandProvider("Verizon", 9_228_000, 0.86, 2, 59.0),
+    BroadbandProvider("CenturyLink", 6_048_000, 0.82, 1, 13.0),
+    BroadbandProvider("Charter", 5_572_000, 0.37, 1, 1.0),
+    BroadbandProvider("Cox", 4_300_000, 0.39, 1, 39.0),
+    BroadbandProvider("Cablevision", 2_809_000, None, 1, None),
+    BroadbandProvider("Frontier", 2_444_000, 0.47, 1, 6.0),
+    BroadbandProvider("Suddenlink", 1_467_000, None, 1, None),
+    BroadbandProvider("Windstream", 1_095_100, 0.06, 1, 4.0),
+    BroadbandProvider("Mediacom", 1_085_000, None, 1, None),
+)
+
+
+def provider_by_name(name: str) -> BroadbandProvider:
+    """Look up a Table 1 provider by name."""
+    for provider in BROADBAND_PROVIDERS_Q3_2015:
+        if provider.name == name:
+            return provider
+    raise KeyError(f"unknown provider {name!r}")
+
+
+#: The nine ISPs that appear in Figure 1, in the paper's bar order.
+FIGURE1_ISPS: tuple[str, ...] = (
+    "Comcast",
+    "ATT",
+    "TimeWarnerCable",
+    "Verizon",
+    "CenturyLink",
+    "Charter",
+    "Cox",
+    "Frontier",
+    "Windstream",
+)

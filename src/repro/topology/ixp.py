@@ -1,0 +1,63 @@
+"""Internet exchange points (IXPs).
+
+Public peering at an IXP numbers both participants' interfaces from the
+IXP's own prefix, so a traceroute crossing the peering shows a hop whose
+longest-prefix match belongs to *neither* endpoint AS. MAP-IT and bdrmap
+consume a list of IXP prefixes (the paper used PeeringDB + PCH) to
+recognise and step over these hops; the generator emits the synthetic
+equivalent of that list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.addressing import Prefix
+from repro.util.ip import prefix_str
+
+
+@dataclass(frozen=True)
+class IXP:
+    """One exchange fabric: a name, a metro, and a peering-LAN prefix."""
+
+    ixp_id: int
+    name: str
+    city_code: str
+    prefix: Prefix
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.city_code} ({prefix_str(self.prefix.base, self.prefix.length)})"
+
+
+class IXPRegistry:
+    """The synthetic PeeringDB/PCH: all IXPs and their prefixes."""
+
+    def __init__(self) -> None:
+        self._ixps: dict[int, IXP] = {}
+
+    def __len__(self) -> int:
+        return len(self._ixps)
+
+    def __iter__(self):
+        return iter(self._ixps.values())
+
+    def add(self, ixp: IXP) -> None:
+        if ixp.ixp_id in self._ixps:
+            raise ValueError(f"duplicate IXP id {ixp.ixp_id}")
+        self._ixps[ixp.ixp_id] = ixp
+
+    def get(self, ixp_id: int) -> IXP:
+        try:
+            return self._ixps[ixp_id]
+        except KeyError:
+            raise KeyError(f"unknown IXP {ixp_id}") from None
+
+    def in_city(self, city_code: str) -> list[IXP]:
+        return [ixp for ixp in self._ixps.values() if ixp.city_code == city_code]
+
+    def prefixes(self) -> list[Prefix]:
+        """The IXP prefix list handed to inference algorithms."""
+        return [ixp.prefix for ixp in sorted(self._ixps.values(), key=lambda x: x.ixp_id)]
+
+    def contains_ip(self, ip: int) -> bool:
+        return any(ixp.prefix.contains(ip) for ixp in self._ixps.values())

@@ -1,0 +1,89 @@
+"""AS-to-Organization mapping and sibling ASes.
+
+Mirrors CAIDA's AS-to-Organization dataset: one organization may operate
+several ASNs (siblings). The paper collapses sibling ASes into one AS hop
+when counting AS hops (§4.2), and Table 2 shows Comcast alone exposing
+tests via AS7922, AS7725, and AS22909 — so the generator gives large access
+ISPs multiple sibling ASNs, and the analyses use this map to merge them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Organization:
+    """An operating organization and the ASNs it controls.
+
+    ``primary_asn`` is the organization's main network (e.g. Comcast's
+    AS7922); it defaults to the first listed ASN. Analyses collapse every
+    sibling to this ASN.
+    """
+
+    org_id: str
+    name: str
+    asns: tuple[int, ...]
+    primary_asn: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.primary_asn is not None and self.primary_asn not in self.asns:
+            raise ValueError(
+                f"primary AS{self.primary_asn} not among org ASNs {self.asns}"
+            )
+
+    @property
+    def primary(self) -> int:
+        return self.primary_asn if self.primary_asn is not None else self.asns[0]
+
+    def __str__(self) -> str:
+        return f"{self.name}({','.join(f'AS{a}' for a in self.asns)})"
+
+
+class OrgMap:
+    """Bidirectional AS ↔ organization lookup."""
+
+    def __init__(self) -> None:
+        self._orgs: dict[str, Organization] = {}
+        self._org_of_asn: dict[int, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._orgs)
+
+    def add(self, org: Organization) -> None:
+        if org.org_id in self._orgs:
+            raise ValueError(f"duplicate org id {org.org_id!r}")
+        for asn in org.asns:
+            if asn in self._org_of_asn:
+                raise ValueError(f"AS{asn} already assigned to {self._org_of_asn[asn]!r}")
+        self._orgs[org.org_id] = org
+        for asn in org.asns:
+            self._org_of_asn[asn] = org.org_id
+
+    def org_of(self, asn: int) -> Organization | None:
+        org_id = self._org_of_asn.get(asn)
+        return None if org_id is None else self._orgs[org_id]
+
+    def siblings(self, asn: int) -> set[int]:
+        """All ASNs of the organization operating ``asn`` (including itself)."""
+        org = self.org_of(asn)
+        return {asn} if org is None else set(org.asns)
+
+    def are_siblings(self, a: int, b: int) -> bool:
+        """True when two ASNs belong to the same organization."""
+        if a == b:
+            return True
+        org_a = self._org_of_asn.get(a)
+        return org_a is not None and org_a == self._org_of_asn.get(b)
+
+    def canonical_asn(self, asn: int) -> int:
+        """A stable representative ASN for the organization of ``asn``.
+
+        Analyses that collapse siblings into one AS hop map every sibling
+        to the organization's primary ASN.
+        """
+        org = self.org_of(asn)
+        return asn if org is None else org.primary
+
+    def organizations(self) -> list[Organization]:
+        return sorted(self._orgs.values(), key=lambda o: o.org_id)

@@ -1,0 +1,254 @@
+"""Router-level fabric: PoPs, border routers, and interconnection links.
+
+The paper's central topological observation (§4.3, Table 2) is that one
+AS-level adjacency decomposes into many router-level interconnects spread
+across metros — 18 AS-level links and 30 IP-level links between Level3 and
+Comcast alone — some of which are parallel links between the same pair of
+border routers (the Cox/Dallas case found via DNS names). This module
+models exactly that structure:
+
+* each AS has one core router per PoP city;
+* each AS-level adjacency is realized by one or more :class:`Interconnect`
+  objects, each anchored at border routers in a specific city;
+* multiple interconnects may join the *same* two border routers (parallel
+  links), which load balancing spreads flows across;
+* every interconnect is numbered from a /31 carved out of either endpoint's
+  infrastructure space, or from an IXP prefix for public peering.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.ip import format_ip
+
+
+class RouterRole(enum.Enum):
+    CORE = "core"  # intra-AS backbone router at a PoP
+    BORDER = "border"  # holds interdomain links ("edge"/"ear" in DNS names)
+    ACCESS = "access"  # last-mile aggregation (BRAS/CMTS)
+
+
+@dataclass(frozen=True)
+class Router:
+    """A router owned by one AS, located in one metro."""
+
+    router_id: int
+    asn: int
+    city_code: str
+    role: RouterRole
+    index_in_city: int  # disambiguates multiple routers per (AS, city, role)
+
+    def __str__(self) -> str:
+        return f"r{self.router_id}(AS{self.asn}/{self.city_code}/{self.role.value})"
+
+
+@dataclass(frozen=True)
+class Interface:
+    """An addressed interface on a router.
+
+    ``numbered_from_asn`` records whose address space the interface is
+    numbered from — for border interfaces this may be the *neighbour's*
+    ASN, which is precisely what breaks naive traceroute AS annotation.
+    """
+
+    ip: int
+    router_id: int
+    numbered_from_asn: int
+
+    def __str__(self) -> str:
+        return f"{format_ip(self.ip)}@r{self.router_id}"
+
+
+class InterconnectKind(enum.Enum):
+    PRIVATE = "private"  # private network interconnect (PNI), /31 or /30
+    IXP = "ixp"  # public peering over an IXP fabric
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A router-level interdomain link between two ASes.
+
+    ``a`` is conventionally the side closer to the core (e.g. the transit
+    AS), but nothing downstream relies on orientation. ``group_id`` ties
+    together parallel links between the same border-router pair: links in a
+    group share routers and city and differ only in interface addressing.
+    """
+
+    link_id: int
+    a_asn: int
+    b_asn: int
+    a_router_id: int
+    b_router_id: int
+    a_ip: int
+    b_ip: int
+    city_code: str
+    kind: InterconnectKind
+    numbered_from_asn: int  # whose space the /31 came from (or the IXP's "ASN" 0)
+    group_id: int  # parallel-link group (same router pair)
+
+    def other_asn(self, asn: int) -> int:
+        if asn == self.a_asn:
+            return self.b_asn
+        if asn == self.b_asn:
+            return self.a_asn
+        raise ValueError(f"AS{asn} is not an endpoint of link {self.link_id}")
+
+    def as_pair(self) -> tuple[int, int]:
+        """Endpoint ASNs as an ordered pair (low, high)."""
+        return (self.a_asn, self.b_asn) if self.a_asn < self.b_asn else (self.b_asn, self.a_asn)
+
+    def ip_pair(self) -> tuple[int, int]:
+        """Interface IPs as an ordered pair, a stable identity for the IP link."""
+        return (self.a_ip, self.b_ip) if self.a_ip < self.b_ip else (self.b_ip, self.a_ip)
+
+
+class RouterFabric:
+    """Container indexing routers, interfaces, and interconnects."""
+
+    def __init__(self) -> None:
+        self._routers: dict[int, Router] = {}
+        self._interfaces: dict[int, Interface] = {}  # keyed by IP
+        self._router_interfaces: dict[int, list[int]] = {}
+        self._interconnects: dict[int, Interconnect] = {}
+        self._links_by_as_pair: dict[tuple[int, int], list[int]] = {}
+        self._core_router: dict[tuple[int, str], int] = {}
+        self._access_routers: dict[tuple[int, str], list[int]] = {}
+        self._border_counts: dict[tuple[int, str], int] = {}
+        self._routers_by_as: dict[int, list[int]] = {}
+        self._next_router_id = 1
+        self._next_link_id = 1
+        self._next_group_id = 1
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def new_router(self, asn: int, city_code: str, role: RouterRole) -> Router:
+        key = (asn, city_code)
+        if role is RouterRole.CORE:
+            index = 0
+            if key in self._core_router:
+                raise ValueError(f"AS{asn} already has a core router in {city_code}")
+        elif role is RouterRole.ACCESS:
+            index = len(self._access_routers.get(key, []))
+        else:
+            index = self._border_counts.get(key, 0)
+            self._border_counts[key] = index + 1
+        router = Router(self._next_router_id, asn, city_code, role, index)
+        self._next_router_id += 1
+        self._routers[router.router_id] = router
+        self._router_interfaces[router.router_id] = []
+        self._routers_by_as.setdefault(asn, []).append(router.router_id)
+        if role is RouterRole.CORE:
+            self._core_router[key] = router.router_id
+        elif role is RouterRole.ACCESS:
+            self._access_routers.setdefault(key, []).append(router.router_id)
+        return router
+
+    def add_interface(self, ip: int, router_id: int, numbered_from_asn: int) -> Interface:
+        if ip in self._interfaces:
+            raise ValueError(f"duplicate interface address {format_ip(ip)}")
+        if router_id not in self._routers:
+            raise KeyError(f"unknown router {router_id}")
+        iface = Interface(ip=ip, router_id=router_id, numbered_from_asn=numbered_from_asn)
+        self._interfaces[ip] = iface
+        self._router_interfaces[router_id].append(ip)
+        return iface
+
+    def new_parallel_group(self) -> int:
+        group = self._next_group_id
+        self._next_group_id += 1
+        return group
+
+    def add_interconnect(
+        self,
+        a_asn: int,
+        b_asn: int,
+        a_router_id: int,
+        b_router_id: int,
+        a_ip: int,
+        b_ip: int,
+        city_code: str,
+        kind: InterconnectKind,
+        numbered_from_asn: int,
+        group_id: int | None = None,
+    ) -> Interconnect:
+        if group_id is None:
+            group_id = self.new_parallel_group()
+        link = Interconnect(
+            link_id=self._next_link_id,
+            a_asn=a_asn,
+            b_asn=b_asn,
+            a_router_id=a_router_id,
+            b_router_id=b_router_id,
+            a_ip=a_ip,
+            b_ip=b_ip,
+            city_code=city_code,
+            kind=kind,
+            numbered_from_asn=numbered_from_asn,
+            group_id=group_id,
+        )
+        self._next_link_id += 1
+        self._interconnects[link.link_id] = link
+        self._links_by_as_pair.setdefault(link.as_pair(), []).append(link.link_id)
+        return link
+
+    # ------------------------------------------------------------------
+    # lookup
+
+    def router(self, router_id: int) -> Router:
+        try:
+            return self._routers[router_id]
+        except KeyError:
+            raise KeyError(f"unknown router {router_id}") from None
+
+    def interface(self, ip: int) -> Interface | None:
+        return self._interfaces.get(ip)
+
+    def interfaces_of(self, router_id: int) -> list[Interface]:
+        return [self._interfaces[ip] for ip in self._router_interfaces.get(router_id, [])]
+
+    def owner_asn_of_ip(self, ip: int) -> int | None:
+        """Ground-truth owner AS of an interface address (not LPM-derived)."""
+        iface = self._interfaces.get(ip)
+        return None if iface is None else self._routers[iface.router_id].asn
+
+    def interconnect(self, link_id: int) -> Interconnect:
+        try:
+            return self._interconnects[link_id]
+        except KeyError:
+            raise KeyError(f"unknown interconnect {link_id}") from None
+
+    def interconnects(self) -> list[Interconnect]:
+        return [self._interconnects[i] for i in sorted(self._interconnects)]
+
+    def links_between(self, a_asn: int, b_asn: int) -> list[Interconnect]:
+        pair = (a_asn, b_asn) if a_asn < b_asn else (b_asn, a_asn)
+        return [self._interconnects[i] for i in self._links_by_as_pair.get(pair, [])]
+
+    def links_of_as(self, asn: int) -> list[Interconnect]:
+        result: list[Interconnect] = []
+        for (low, high), link_ids in self._links_by_as_pair.items():
+            if asn in (low, high):
+                result.extend(self._interconnects[i] for i in link_ids)
+        return result
+
+    def core_router_of(self, asn: int, city_code: str) -> Router | None:
+        router_id = self._core_router.get((asn, city_code))
+        return None if router_id is None else self._routers[router_id]
+
+    def core_cities_of(self, asn: int) -> list[str]:
+        return sorted(city for (a, city) in self._core_router if a == asn)
+
+    def access_routers_of(self, asn: int, city_code: str) -> list[Router]:
+        return [self._routers[r] for r in self._access_routers.get((asn, city_code), [])]
+
+    def routers_of_as(self, asn: int) -> list[Router]:
+        return [self._routers[r] for r in self._routers_by_as.get(asn, [])]
+
+    def router_count(self) -> int:
+        return len(self._routers)
+
+    def interconnect_count(self) -> int:
+        return len(self._interconnects)

@@ -1,0 +1,35 @@
+"""Shared utilities: RNG discipline, IPv4 helpers, units, and identifiers.
+
+Everything stochastic in :mod:`repro` draws from an explicitly seeded
+:class:`numpy.random.Generator` or :class:`random.Random` obtained through
+:func:`derive_rng` / :func:`derive_random`, so that every experiment is
+reproducible from a single root seed.
+"""
+
+from repro.util.ip import (
+    format_ip,
+    ip_in_prefix,
+    parse_ip,
+    prefix_netmask,
+    prefix_size,
+    prefix_str,
+)
+from repro.util.rng import derive_random, derive_rng, derive_seed
+from repro.util.units import GBPS, KBPS, MBPS, mbps, seconds_to_hours
+
+__all__ = [
+    "GBPS",
+    "KBPS",
+    "MBPS",
+    "derive_random",
+    "derive_rng",
+    "derive_seed",
+    "format_ip",
+    "ip_in_prefix",
+    "mbps",
+    "parse_ip",
+    "prefix_netmask",
+    "prefix_size",
+    "prefix_str",
+    "seconds_to_hours",
+]

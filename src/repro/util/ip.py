@@ -1,0 +1,70 @@
+"""IPv4 address helpers.
+
+Addresses are plain ``int`` throughout :mod:`repro` for speed; prefixes are
+``(base, length)`` tuples. These helpers convert to and from dotted-quad
+notation and answer containment questions.
+"""
+
+from __future__ import annotations
+
+_MAX_IP = (1 << 32) - 1
+
+
+def parse_ip(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into an int.
+
+    >>> parse_ip("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(value: int) -> str:
+    """Format an int as a dotted-quad IPv4 address.
+
+    >>> format_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= _MAX_IP:
+        raise ValueError(f"not a 32-bit address: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_netmask(length: int) -> int:
+    """Return the netmask int for a prefix length.
+
+    >>> format_ip(prefix_netmask(24))
+    '255.255.255.0'
+    """
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length out of range: {length}")
+    if length == 0:
+        return 0
+    return (_MAX_IP << (32 - length)) & _MAX_IP
+
+
+def prefix_size(length: int) -> int:
+    """Number of addresses in a prefix of the given length."""
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length out of range: {length}")
+    return 1 << (32 - length)
+
+
+def ip_in_prefix(ip: int, base: int, length: int) -> bool:
+    """Return True if ``ip`` falls within the prefix ``base/length``."""
+    mask = prefix_netmask(length)
+    return (ip & mask) == (base & mask)
+
+
+def prefix_str(base: int, length: int) -> str:
+    """Render a prefix as CIDR notation, e.g. ``10.0.0.0/24``."""
+    return f"{format_ip(base)}/{length}"

@@ -1,0 +1,26 @@
+"""Units used across the library.
+
+Throughput and capacity are expressed in bits per second (bps) internally;
+these constants and helpers keep conversions explicit at API boundaries.
+Time of day is expressed in seconds since local midnight unless stated
+otherwise.
+"""
+
+from __future__ import annotations
+
+KBPS = 1_000.0
+MBPS = 1_000_000.0
+GBPS = 1_000_000_000.0
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+
+def mbps(bps: float) -> float:
+    """Convert bits/second to megabits/second."""
+    return bps / MBPS
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert seconds-since-midnight to fractional local hours in [0, 24)."""
+    return (seconds % SECONDS_PER_DAY) / SECONDS_PER_HOUR

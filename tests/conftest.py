@@ -1,0 +1,34 @@
+"""Shared fixtures: small worlds that keep the suite fast.
+
+``tiny_internet`` is a reduced topology for structural tests;
+``small_study`` is a fully wired study world at ~1/10 scale, shared
+session-wide (building it once costs a few seconds; every integration
+test reuses it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import StudyConfig, build_study
+from repro.topology.generator import InternetConfig, generate_internet
+
+TINY_CONFIG = InternetConfig(seed=7, n_stub=60, n_transit=6)
+
+SMALL_STUDY_CONFIG = StudyConfig(
+    seed=7,
+    scale=0.1,
+    mlab_server_count=60,
+    speedtest_server_count=150,
+    clients_per_million=15.0,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_internet():
+    return generate_internet(TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def small_study():
+    return build_study(SMALL_STUDY_CONFIG)

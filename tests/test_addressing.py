@@ -1,0 +1,115 @@
+"""Tests for prefix allocation and longest-prefix matching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.addressing import Prefix, PrefixAllocator, PrefixTable
+from repro.util.ip import ip_in_prefix, parse_ip, prefix_size
+
+
+class TestPrefixAllocator:
+    def test_alignment(self):
+        allocator = PrefixAllocator(parse_ip("10.0.0.0"), 8)
+        prefix = allocator.allocate(24, asn=1)
+        assert prefix.base % prefix_size(24) == 0
+
+    def test_sequential_non_overlap(self):
+        allocator = PrefixAllocator(parse_ip("10.0.0.0"), 8)
+        first = allocator.allocate(20, asn=1)
+        second = allocator.allocate(22, asn=2)
+        assert not first.contains(second.base)
+        assert not second.contains(first.base)
+
+    def test_exhaustion(self):
+        allocator = PrefixAllocator(parse_ip("10.0.0.0"), 24)
+        allocator.allocate(25, asn=1)
+        allocator.allocate(25, asn=2)
+        with pytest.raises(RuntimeError):
+            allocator.allocate(25, asn=3)
+
+    def test_remaining_decreases(self):
+        allocator = PrefixAllocator(parse_ip("10.0.0.0"), 8)
+        before = allocator.remaining
+        allocator.allocate(16, asn=1)
+        assert allocator.remaining == before - prefix_size(16)
+
+    @given(st.lists(st.integers(min_value=16, max_value=28), min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_allocations_never_overlap(self, lengths):
+        allocator = PrefixAllocator(parse_ip("10.0.0.0"), 8)
+        allocated: list[Prefix] = []
+        for index, length in enumerate(lengths):
+            prefix = allocator.allocate(length, asn=index)
+            for other in allocated:
+                shorter, longer = sorted((prefix, other), key=lambda p: p.length)
+                assert not ip_in_prefix(longer.base, shorter.base, shorter.length)
+            allocated.append(prefix)
+
+
+class TestPrefixTable:
+    def _table(self, prefixes):
+        table = PrefixTable()
+        for base, length, asn in prefixes:
+            table.insert(Prefix(parse_ip(base), length, asn))
+        return table
+
+    def test_longest_match_wins(self):
+        table = self._table([("10.0.0.0", 8, 1), ("10.1.0.0", 16, 2)])
+        assert table.origin_asn(parse_ip("10.1.2.3")) == 2
+        assert table.origin_asn(parse_ip("10.2.2.3")) == 1
+
+    def test_no_match(self):
+        table = self._table([("10.0.0.0", 8, 1)])
+        assert table.lookup(parse_ip("11.0.0.1")) is None
+
+    def test_exact_duplicate_replaces(self):
+        table = self._table([("10.0.0.0", 8, 1), ("10.0.0.0", 8, 9)])
+        assert table.origin_asn(parse_ip("10.0.0.1")) == 9
+        assert len(table) == 1
+
+    def test_prefixes_listing(self):
+        table = self._table([("10.0.0.0", 8, 1), ("12.0.0.0", 8, 2)])
+        assert {p.asn for p in table.prefixes()} == {1, 2}
+
+    def test_default_route(self):
+        table = self._table([("0.0.0.0", 0, 42)])
+        assert table.origin_asn(parse_ip("200.1.2.3")) == 42
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 32) - 1),
+                st.integers(min_value=8, max_value=28),
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    @settings(max_examples=80)
+    def test_matches_brute_force(self, raw_prefixes, probe):
+        table = PrefixTable()
+        prefixes = []
+        for index, (base, length) in enumerate(raw_prefixes):
+            prefix = Prefix(base, length, index + 1)
+            table.insert(prefix)
+            prefixes.append(prefix)
+        # Brute force: longest prefix containing the probe; later inserts
+        # replace earlier exact (base-masked, length) duplicates.
+        best = None
+        for prefix in prefixes:
+            if ip_in_prefix(probe, prefix.base, prefix.length):
+                if (
+                    best is None
+                    or prefix.length > best.length
+                ):
+                    best = prefix
+                elif prefix.length == best.length:
+                    best = prefix  # insertion order: last wins
+        result = table.lookup(probe)
+        if best is None:
+            assert result is None
+        else:
+            assert result is not None
+            assert result.length == best.length

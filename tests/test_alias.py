@@ -1,0 +1,75 @@
+"""Tests for simulated alias resolution."""
+
+from repro.inference.alias import AliasResolver
+
+
+def _border_ips(internet, count=200):
+    ips = []
+    for link in internet.fabric.interconnects()[:count]:
+        ips.extend([link.a_ip, link.b_ip])
+    return ips
+
+
+class TestAliasResolver:
+    def test_perfect_recall_matches_ground_truth(self, tiny_internet):
+        ips = _border_ips(tiny_internet)
+        resolution = AliasResolver(tiny_internet, recall=1.0, seed=7).resolve(ips)
+        by_group: dict[int, set[int]] = {}
+        for ip in ips:
+            by_group.setdefault(resolution.group(ip), set()).add(
+                tiny_internet.fabric.interface(ip).router_id
+            )
+        assert all(len(routers) == 1 for routers in by_group.values())
+        # And interfaces of the same router share a group.
+        by_router: dict[int, set[int]] = {}
+        for ip in ips:
+            router = tiny_internet.fabric.interface(ip).router_id
+            by_router.setdefault(router, set()).add(resolution.group(ip))
+        assert all(len(groups) == 1 for groups in by_router.values())
+
+    def test_zero_recall_splits_multi_interface_routers(self, tiny_internet):
+        ips = _border_ips(tiny_internet)
+        resolution = AliasResolver(tiny_internet, recall=0.0, seed=7).resolve(ips)
+        split = 0
+        by_router: dict[int, set[int]] = {}
+        for ip in ips:
+            router = tiny_internet.fabric.interface(ip).router_id
+            by_router.setdefault(router, set()).add(resolution.group(ip))
+        for router, groups in by_router.items():
+            observed = [
+                ip for ip in ips
+                if tiny_internet.fabric.interface(ip).router_id == router
+            ]
+            if len(set(observed)) > 1:
+                split += len(groups) > 1
+        assert split > 0
+
+    def test_never_merges_distinct_routers_by_default(self, tiny_internet):
+        ips = _border_ips(tiny_internet)
+        resolution = AliasResolver(tiny_internet, recall=0.9, seed=7).resolve(ips)
+        by_group: dict[int, set[int]] = {}
+        for ip in ips:
+            by_group.setdefault(resolution.group(ip), set()).add(
+                tiny_internet.fabric.interface(ip).router_id
+            )
+        assert all(len(routers) == 1 for routers in by_group.values())
+
+    def test_deterministic(self, tiny_internet):
+        ips = _border_ips(tiny_internet)
+        one = AliasResolver(tiny_internet, seed=7).resolve(ips)
+        two = AliasResolver(tiny_internet, seed=7).resolve(ips)
+        assert one.group_of == two.group_of
+
+    def test_unknown_ips_get_singletons(self, tiny_internet):
+        resolution = AliasResolver(tiny_internet, seed=7).resolve([999999999])
+        assert resolution.group(999999999) is not None
+
+    def test_unprobed_ip_sentinel(self, tiny_internet):
+        resolution = AliasResolver(tiny_internet, seed=7).resolve([])
+        assert resolution.group(42) == -42
+
+    def test_recall_validation(self, tiny_internet):
+        import pytest
+
+        with pytest.raises(ValueError):
+            AliasResolver(tiny_internet, recall=1.5)

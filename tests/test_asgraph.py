@@ -1,0 +1,97 @@
+"""Tests for the AS graph and relationship semantics."""
+
+import pytest
+
+from repro.topology.asgraph import AS, ASGraph, ASRole, Relationship
+
+
+def _graph_with(*asns):
+    graph = ASGraph()
+    for asn in asns:
+        graph.add_as(AS(asn=asn, name=f"AS{asn}", role=ASRole.STUB))
+    return graph
+
+
+class TestBasics:
+    def test_add_and_get(self):
+        graph = _graph_with(1)
+        assert graph.get(1).asn == 1
+
+    def test_duplicate_asn_rejected(self):
+        graph = _graph_with(1)
+        with pytest.raises(ValueError):
+            graph.add_as(AS(asn=1, name="dup", role=ASRole.STUB))
+
+    def test_unknown_asn(self):
+        graph = _graph_with(1)
+        with pytest.raises(KeyError):
+            graph.get(2)
+
+    def test_contains_and_len(self):
+        graph = _graph_with(1, 2)
+        assert 1 in graph and 3 not in graph
+        assert len(graph) == 2
+
+
+class TestEdges:
+    def test_customer_edge_inverse(self):
+        graph = _graph_with(1, 2)
+        graph.add_edge(1, 2, Relationship.CUSTOMER)
+        assert graph.relationship(1, 2) is Relationship.CUSTOMER
+        assert graph.relationship(2, 1) is Relationship.PROVIDER
+
+    def test_peer_edge_symmetric(self):
+        graph = _graph_with(1, 2)
+        graph.add_edge(1, 2, Relationship.PEER)
+        assert graph.relationship(1, 2) is Relationship.PEER
+        assert graph.relationship(2, 1) is Relationship.PEER
+
+    def test_conflicting_relationship_rejected(self):
+        graph = _graph_with(1, 2)
+        graph.add_edge(1, 2, Relationship.PEER)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 2, Relationship.CUSTOMER)
+
+    def test_same_relationship_idempotent(self):
+        graph = _graph_with(1, 2)
+        graph.add_edge(1, 2, Relationship.PEER)
+        graph.add_edge(1, 2, Relationship.PEER)
+        assert graph.edge_count() == 1
+
+    def test_self_loop_rejected(self):
+        graph = _graph_with(1)
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1, Relationship.PEER)
+
+    def test_neighbor_classification(self):
+        graph = _graph_with(1, 2, 3, 4)
+        graph.add_edge(1, 2, Relationship.CUSTOMER)
+        graph.add_edge(1, 3, Relationship.PROVIDER)
+        graph.add_edge(1, 4, Relationship.PEER)
+        assert graph.customers(1) == [2]
+        assert graph.providers(1) == [3]
+        assert graph.peers(1) == [4]
+
+
+class TestCustomerCone:
+    def test_cone_includes_self(self):
+        graph = _graph_with(1)
+        assert graph.customer_cone(1) == {1}
+
+    def test_cone_descends(self):
+        graph = _graph_with(1, 2, 3)
+        graph.add_edge(1, 2, Relationship.CUSTOMER)
+        graph.add_edge(2, 3, Relationship.CUSTOMER)
+        assert graph.customer_cone(1) == {1, 2, 3}
+
+    def test_cone_ignores_peers(self):
+        graph = _graph_with(1, 2, 3)
+        graph.add_edge(1, 2, Relationship.CUSTOMER)
+        graph.add_edge(1, 3, Relationship.PEER)
+        assert graph.customer_cone(1) == {1, 2}
+
+    def test_roles_query(self):
+        graph = ASGraph()
+        graph.add_as(AS(1, "t", ASRole.TIER1))
+        graph.add_as(AS(2, "s", ASRole.STUB))
+        assert [a.asn for a in graph.ases_by_role(ASRole.TIER1)] == [1]

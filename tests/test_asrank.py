@@ -1,0 +1,125 @@
+"""Tests for AS-relationship inference from paths."""
+
+import pytest
+
+from repro.inference.asrank import ASRank
+from repro.topology.asgraph import Relationship
+
+
+class TestSanitize:
+    def test_prepending_collapsed(self):
+        assert ASRank._sanitize([1, 1, 1, 2, 3]) == [1, 2, 3]
+
+    def test_loop_dropped(self):
+        assert ASRank._sanitize([1, 2, 1]) == []
+
+
+class TestHandBuilt:
+    def test_simple_hierarchy(self):
+        # 10 is the top transit; 1, 2, 3 are its customers; 100/200/300
+        # are theirs. Paths are valley-free through 10, whose transit
+        # degree (distinct flank pairs) therefore dominates.
+        paths = [
+            [100, 1, 10, 2, 200],
+            [200, 2, 10, 1, 100],
+            [300, 3, 10, 1, 100],
+            [100, 1, 10, 3, 300],
+            [300, 3, 10, 2, 200],
+            [100, 1, 10],
+            [200, 2, 10],
+        ]
+        # Edges touching the global top are classifiable only by degree
+        # ratio (they are never interior), so use a tight ratio here.
+        result = ASRank(peer_rank_ratio=2).infer(paths)
+        assert result.relationship(1, 10) is Relationship.PROVIDER
+        assert result.relationship(10, 1) is Relationship.CUSTOMER
+        assert result.relationship(100, 1) is Relationship.PROVIDER
+        assert result.relationship(2, 200) is Relationship.CUSTOMER
+
+    def test_peers_at_the_top(self):
+        # 10 and 20 both transit for their own customers and exchange
+        # traffic at the top of every path: contradictory transit votes at
+        # comparable degree → p2p.
+        paths = [
+            [100, 10, 20, 200],
+            [200, 20, 10, 100],
+            [101, 10, 20, 201],
+            [201, 20, 10, 101],
+        ]
+        result = ASRank().infer(paths)
+        assert result.relationship(10, 20) is Relationship.PEER
+
+    def test_unknown_pair(self):
+        result = ASRank().infer([[1, 2]])
+        assert result.relationship(5, 6) is None
+
+    def test_two_hop_paths_default_peer(self):
+        # A single 2-AS path carries no transit evidence either way.
+        result = ASRank().infer([[1, 2]])
+        assert result.relationship(1, 2) is Relationship.PEER
+
+    def test_counts(self):
+        result = ASRank().infer([[100, 10, 20, 200], [200, 20, 10, 100]])
+        counts = result.counts()
+        assert counts.get("p2c", 0) >= 2
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            ASRank(peer_rank_ratio=0.5)
+
+
+class TestOnGeneratedWorld:
+    def test_accuracy_against_ground_truth(self, small_study):
+        graph = small_study.internet.graph
+        routing = small_study.routing
+        asns = graph.asns()
+        vantages = asns[:: max(1, len(asns) // 25)][:25]
+        paths = []
+        for vantage in vantages:
+            table = routing.table_for(vantage)
+            for source in asns[::3]:
+                path = table.as_path(source)
+                if path is not None and len(path) >= 2:
+                    paths.append(path)
+        result = ASRank().infer(paths)
+        evaluated = 0
+        correct = 0
+        for (a, b), inferred in result.relationships.items():
+            truth = graph.relationship(a, b)
+            if truth is None:
+                continue
+            evaluated += 1
+            if truth is Relationship.PEER:
+                correct += inferred.kind == "p2p"
+            else:
+                true_provider = a if truth is Relationship.CUSTOMER else b
+                correct += inferred.kind == "p2c" and inferred.a == true_provider
+        assert evaluated > 200
+        # Degree-heuristic AS-rank: p2c direction is reliable; peers with
+        # large degree gaps (access↔content) are the known hard class.
+        assert correct / evaluated > 0.55
+
+    def test_usable_as_mapit_relationship_oracle(self, small_study):
+        """ASRankResult duck-types ASGraph.relationship, so MAP-IT can run
+        with *inferred* relationships instead of ground truth."""
+        from repro.inference.mapit import MapIt
+        from repro.platforms.campaign import CampaignConfig
+
+        graph = small_study.internet.graph
+        routing = small_study.routing
+        asns = graph.asns()
+        paths = []
+        for vantage in asns[::40]:
+            table = routing.table_for(vantage)
+            for source in asns[::5]:
+                path = table.as_path(source)
+                if path is not None and len(path) >= 2:
+                    paths.append(path)
+        asrank = ASRank().infer(paths)
+
+        campaign = small_study.run_campaign(
+            CampaignConfig(seed=41, days=3, total_tests=800)
+        )
+        traces = [t.router_hop_ips() for t in campaign.traceroute_records]
+        result = MapIt(small_study.oracle, asrank).infer(traces)
+        assert result.links, "MAP-IT must still find links with inferred relationships"

@@ -1,0 +1,90 @@
+"""Tests for the §4 assumption checks (AS hops, link diversity)."""
+
+import pytest
+
+from repro.core.assumptions import as_hop_distribution, link_diversity
+from repro.core.matching import match_ndt_to_traceroutes
+from repro.inference.mapit import MapIt
+from repro.platforms.campaign import CampaignConfig
+
+
+@pytest.fixture(scope="module")
+def analyzed(small_study):
+    result = small_study.run_campaign(
+        CampaignConfig(seed=4, days=7, total_tests=3000)
+    )
+    report = match_ndt_to_traceroutes(result.ndt_records, result.traceroute_records)
+    traces = {t.trace_id: t for t in result.traceroute_records}
+    pairs = [
+        (r, traces[report.matched[r.test_id]])
+        for r in result.ndt_records
+        if r.test_id in report.matched
+    ]
+    mapit_result = MapIt(small_study.oracle, small_study.internet.graph).infer(
+        [t.router_hop_ips() for _r, t in pairs]
+    )
+    return small_study, pairs, mapit_result
+
+
+class TestASHopDistribution:
+    def test_fractions_sum_to_one(self, analyzed):
+        study, pairs, mapit_result = analyzed
+        rows = as_hop_distribution(pairs, mapit_result, study.oracle, study.org_names)
+        assert rows
+        for row in rows:
+            total = row.one_hop_fraction + row.two_hop_fraction + row.more_fraction
+            assert total == pytest.approx(1.0)
+            assert row.total == row.one_hop + row.two_hops + row.more_hops
+
+    def test_well_connected_isps_mostly_one_hop(self, analyzed):
+        study, pairs, mapit_result = analyzed
+        rows = {
+            r.client_org: r
+            for r in as_hop_distribution(pairs, mapit_result, study.oracle, study.org_names)
+        }
+        if "Comcast" in rows and rows["Comcast"].total > 50:
+            assert rows["Comcast"].one_hop_fraction > 0.7
+
+    def test_windstream_rarely_one_hop(self, analyzed):
+        study, pairs, mapit_result = analyzed
+        rows = {
+            r.client_org: r
+            for r in as_hop_distribution(pairs, mapit_result, study.oracle, study.org_names)
+        }
+        if "Windstream" in rows and rows["Windstream"].total > 30:
+            assert rows["Windstream"].one_hop_fraction < 0.3
+
+
+class TestLinkDiversity:
+    def test_reports_links_with_counts(self, analyzed):
+        study, pairs, mapit_result = analyzed
+        level3 = study.oracle.canonical(study.internet.as_named("Level3").asn)
+        reports = link_diversity(
+            pairs, mapit_result, study.oracle,
+            server_org_asn=level3, server_label="Level3",
+            rdns=study.internet.rdns, org_names=study.org_names,
+        )
+        assert reports, "some ISP must have Level3 crossings"
+        for report in reports.values():
+            assert report.total_links() > 0
+            for asn, usages in report.usages_by_client_asn.items():
+                counts = report.tests_per_link(asn)
+                assert counts == sorted(counts, reverse=True)
+                assert all(c > 0 for c in counts)
+
+    def test_dns_grouping_counts_parallels(self, analyzed):
+        study, pairs, mapit_result = analyzed
+        level3 = study.oracle.canonical(study.internet.as_named("Level3").asn)
+        reports = link_diversity(
+            pairs, mapit_result, study.oracle,
+            server_org_asn=level3, server_label="Level3",
+            rdns=study.internet.rdns, org_names=study.org_names,
+        )
+        cox = reports.get("Cox")
+        if cox is None:
+            pytest.skip("no Level3->Cox tests in this sample")
+        groups = cox.dns_parallel_groups()
+        # The Dallas hotspot should surface as a multi-link DNS group when
+        # tests crossed it.
+        if groups:
+            assert max(groups.values()) >= 1

@@ -1,0 +1,105 @@
+"""Tests for bdrmap: border enumeration from a vantage point."""
+
+import pytest
+
+from repro.inference.alias import AliasResolver
+from repro.inference.bdrmap import collect_bdrmap_traces, org_relationship, run_bdrmap
+from repro.measurement.traceroute import TracerouteConfig, TracerouteEngine
+from repro.platforms.ark import make_ark_vps
+from repro.routing.bgp import BGPRouting
+from repro.routing.forwarding import Forwarder
+from repro.topology.asgraph import Relationship
+
+
+@pytest.fixture(scope="module")
+def bdrmap_run(tiny_internet):
+    forwarder = Forwarder(tiny_internet, BGPRouting(tiny_internet.graph))
+    engine = TracerouteEngine(tiny_internet, forwarder, TracerouteConfig(seed=7))
+    from repro.inference.borders import OriginOracle
+
+    oracle = OriginOracle(
+        tiny_internet.prefix_table, tiny_internet.orgs, tiny_internet.ixps.prefixes()
+    )
+    vp = next(v for v in make_ark_vps(tiny_internet) if v.label == "COM-1")
+    traces = collect_bdrmap_traces(tiny_internet, vp, engine)
+    result = run_bdrmap(tiny_internet, vp, traces, oracle)
+    return tiny_internet, vp, traces, result
+
+
+class TestCollection:
+    def test_probes_every_routed_prefix(self, bdrmap_run):
+        internet, _vp, traces, _result = bdrmap_run
+        routable = [
+            p for p in internet.routed_prefixes() if p.asn in internet.graph
+        ]
+        assert len(traces) == len(routable)
+
+    def test_max_prefixes_cap(self, tiny_internet):
+        forwarder = Forwarder(tiny_internet, BGPRouting(tiny_internet.graph))
+        engine = TracerouteEngine(tiny_internet, forwarder, TracerouteConfig(seed=7))
+        vp = make_ark_vps(tiny_internet)[0]
+        traces = collect_bdrmap_traces(tiny_internet, vp, engine, max_prefixes=10)
+        assert len(traces) <= 10
+
+
+class TestInference:
+    def test_neighbors_mostly_correct(self, bdrmap_run):
+        internet, vp, _traces, result = bdrmap_run
+        vp_org = internet.orgs.canonical_asn(vp.asn)
+        truth = set()
+        for link in internet.interconnects_of_org(vp.asn):
+            for asn in (link.a_asn, link.b_asn):
+                canonical = internet.orgs.canonical_asn(asn)
+                if canonical != vp_org:
+                    truth.add(canonical)
+        inferred = result.neighbor_asns()
+        tp = len(inferred & truth)
+        assert tp / len(inferred) > 0.75
+        assert tp / len(truth) > 0.6
+
+    def test_router_level_at_least_as_level(self, bdrmap_run):
+        _net, _vp, _traces, result = bdrmap_run
+        assert result.router_level_count() >= result.as_level_count()
+
+    def test_relationship_filters(self, bdrmap_run):
+        _net, _vp, _traces, result = bdrmap_run
+        total = result.as_level_count()
+        by_rel = sum(
+            result.as_level_count(rel)
+            for rel in (Relationship.CUSTOMER, Relationship.PROVIDER, Relationship.PEER)
+        )
+        assert by_rel <= total
+
+    def test_never_reports_own_org(self, bdrmap_run):
+        internet, vp, _traces, result = bdrmap_run
+        assert internet.orgs.canonical_asn(vp.asn) not in result.neighbor_asns()
+
+
+class TestOrgRelationship:
+    def test_direct_edge(self, tiny_internet):
+        comcast = tiny_internet.as_named("Comcast")
+        level3 = tiny_internet.as_named("Level3")
+        rel = org_relationship(tiny_internet, comcast.asn, level3.asn)
+        assert rel is not None
+
+    def test_unrelated_orgs(self, tiny_internet):
+        from repro.topology.asgraph import ASRole
+
+        stubs = tiny_internet.graph.ases_by_role(ASRole.STUB)
+        # Find two stubs with no relationship.
+        for a in stubs[:10]:
+            for b in stubs[10:20]:
+                if tiny_internet.graph.relationship(a.asn, b.asn) is None:
+                    assert org_relationship(tiny_internet, a.asn, b.asn) is None
+                    return
+        pytest.skip("no unrelated stub pair in tiny world")
+
+    def test_customer_priority(self, tiny_internet):
+        # An org that sells transit to any sibling of the neighbour org is
+        # annotated as its provider (CUSTOMER from the org's view).
+        att = tiny_internet.as_named("ATT")
+        customer_asn = tiny_internet.graph.customers(att.asn)
+        if not customer_asn:
+            pytest.skip("ATT has no customers in tiny world")
+        rel = org_relationship(tiny_internet, att.asn, customer_asn[0])
+        assert rel is Relationship.CUSTOMER

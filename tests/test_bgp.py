@@ -1,0 +1,155 @@
+"""Tests for valley-free BGP path computation."""
+
+import pytest
+
+from repro.routing.bgp import BGPRouting, RouteType
+from repro.topology.asgraph import AS, ASGraph, ASRole, Relationship
+
+
+def _graph(edges):
+    """Build a graph from (a, b, rel_of_a) edge triples."""
+    graph = ASGraph()
+    asns = {a for a, _b, _r in edges} | {b for _a, b, _r in edges}
+    for asn in sorted(asns):
+        graph.add_as(AS(asn, f"AS{asn}", ASRole.STUB))
+    for a, b, rel in edges:
+        graph.add_edge(a, b, rel)
+    return graph
+
+
+CUSTOMER = Relationship.CUSTOMER
+PEER = Relationship.PEER
+
+
+class TestPreferences:
+    def test_customer_over_peer(self):
+        # 1 can reach 4 via customer 2 or via peer 3; customer wins even
+        # when both are one AS away from the destination.
+        graph = _graph([
+            (1, 2, CUSTOMER),
+            (1, 3, PEER),
+            (2, 4, CUSTOMER),
+            (3, 4, CUSTOMER),
+        ])
+        assert BGPRouting(graph).as_path(1, 4) == [1, 2, 4]
+
+    def test_customer_preferred_even_if_longer(self):
+        graph = _graph([
+            (1, 2, CUSTOMER),
+            (2, 3, CUSTOMER),
+            (3, 6, CUSTOMER),
+            (1, 5, PEER),
+            (5, 6, CUSTOMER),
+        ])
+        assert BGPRouting(graph).as_path(1, 6) == [1, 2, 3, 6]
+
+    def test_peer_over_provider(self):
+        graph = _graph([
+            (3, 1, CUSTOMER),  # 3 is 1's provider
+            (1, 2, PEER),
+            (2, 4, CUSTOMER),
+            (3, 4, CUSTOMER),
+        ])
+        assert BGPRouting(graph).as_path(1, 4) == [1, 2, 4]
+
+    def test_shortest_within_class(self):
+        graph = _graph([
+            (1, 2, CUSTOMER),
+            (2, 4, CUSTOMER),
+            (1, 3, CUSTOMER),
+            (3, 5, CUSTOMER),
+            (5, 4, CUSTOMER),
+        ])
+        assert BGPRouting(graph).as_path(1, 4) == [1, 2, 4]
+
+    def test_tie_break_lowest_next_hop(self):
+        graph = _graph([
+            (1, 2, CUSTOMER),
+            (1, 3, CUSTOMER),
+            (2, 4, CUSTOMER),
+            (3, 4, CUSTOMER),
+        ])
+        assert BGPRouting(graph).as_path(1, 4) == [1, 2, 4]
+
+
+class TestExportRules:
+    def test_no_peer_to_peer_transit(self):
+        # 1-2 peer, 2-3 peer: 1 must NOT reach 3 through 2 (peer routes are
+        # not exported to other peers); there is no other route.
+        graph = _graph([(1, 2, PEER), (2, 3, PEER)])
+        assert BGPRouting(graph).as_path(1, 3) is None
+
+    def test_no_valley(self):
+        # 1 is customer of 2; 3 is customer of 2; 2 may carry 1->3
+        # (down after up is fine)...
+        graph = _graph([(2, 1, CUSTOMER), (2, 3, CUSTOMER)])
+        assert BGPRouting(graph).as_path(1, 3) == [1, 2, 3]
+
+    def test_provider_chain_up_then_down(self):
+        graph = _graph([
+            (2, 1, CUSTOMER),  # 2 provides 1
+            (3, 2, CUSTOMER),  # 3 provides 2
+            (3, 4, CUSTOMER),
+            (4, 5, CUSTOMER),
+        ])
+        assert BGPRouting(graph).as_path(1, 5) == [1, 2, 3, 4, 5]
+
+    def test_single_peer_edge_usable_to_peer_customers(self):
+        graph = _graph([(1, 2, PEER), (2, 3, CUSTOMER)])
+        assert BGPRouting(graph).as_path(1, 3) == [1, 2, 3]
+
+
+class TestTableMechanics:
+    def test_self_path(self):
+        graph = _graph([(1, 2, PEER)])
+        assert BGPRouting(graph).as_path(1, 1) == [1]
+
+    def test_caching(self):
+        graph = _graph([(1, 2, CUSTOMER)])
+        routing = BGPRouting(graph)
+        routing.as_path(1, 2)
+        routing.as_path(2, 2)
+        assert routing.cached_destinations() == 1  # dst=2 table reused
+
+    def test_route_types_recorded(self):
+        graph = _graph([(1, 2, CUSTOMER), (1, 3, PEER), (4, 1, CUSTOMER)])
+        table = BGPRouting(graph).table_for(1)
+        assert table.route_type[2] is RouteType.PROVIDER  # 2 reaches its provider 1
+        assert table.route_type[3] is RouteType.PEER
+        assert table.route_type[4] is RouteType.CUSTOMER  # 4 hears customer route
+
+    def test_unknown_destination(self):
+        graph = _graph([(1, 2, PEER)])
+        with pytest.raises(KeyError):
+            BGPRouting(graph).table_for(99)
+
+
+class TestValleyFreeProperty:
+    def test_generated_paths_are_valley_free(self, tiny_internet):
+        """Every path in the generated world follows up* peer? down*."""
+        graph = tiny_internet.graph
+        routing = BGPRouting(graph)
+        asns = graph.asns()
+        sources = asns[::9]
+        destinations = asns[::17]
+        checked = 0
+        for src in sources:
+            for dst in destinations:
+                if src == dst:
+                    continue
+                path = routing.as_path(src, dst)
+                if path is None:
+                    continue
+                phase = "up"
+                for a, b in zip(path, path[1:]):
+                    rel = graph.relationship(a, b)
+                    assert rel is not None, "path uses a non-edge"
+                    if rel is Relationship.PROVIDER:
+                        assert phase == "up", f"climb after descent in {path}"
+                    elif rel is Relationship.PEER:
+                        assert phase == "up", f"second peak in {path}"
+                        phase = "down"
+                    else:  # CUSTOMER: descending
+                        phase = "down"
+                checked += 1
+        assert checked > 100

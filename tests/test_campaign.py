@@ -1,0 +1,75 @@
+"""Tests for the crowdsourced NDT campaign generator."""
+
+import pytest
+
+from repro.platforms.campaign import CampaignConfig
+
+
+@pytest.fixture(scope="module")
+def campaign_result(small_study):
+    return small_study.run_campaign(
+        CampaignConfig(seed=3, days=7, total_tests=2000, orgs=("ATT", "Comcast"))
+    )
+
+
+class TestCampaign:
+    def test_exact_test_count(self, campaign_result):
+        assert len(campaign_result.ndt_records) == 2000
+
+    def test_only_requested_orgs(self, campaign_result):
+        orgs = {r.gt_client_org for r in campaign_result.ndt_records}
+        assert orgs == {"ATT", "Comcast"}
+
+    def test_timestamps_ordered_within_hours(self, campaign_result):
+        stamps = [r.timestamp_s for r in campaign_result.ndt_records]
+        assert stamps == sorted(stamps)
+
+    def test_local_hour_matches_timestamp(self, campaign_result):
+        for record in campaign_result.ndt_records[:100]:
+            assert record.local_hour == pytest.approx(
+                (record.timestamp_s % 86400.0) / 3600.0
+            )
+
+    def test_evening_bias(self, campaign_result):
+        evening = sum(1 for r in campaign_result.ndt_records if 18 <= r.local_hour < 23)
+        night = sum(1 for r in campaign_result.ndt_records if 1 <= r.local_hour < 6)
+        assert evening > 2 * night
+
+    def test_traceroutes_toward_clients(self, campaign_result):
+        client_ips = {r.client_ip for r in campaign_result.ndt_records}
+        for trace in campaign_result.traceroute_records[:100]:
+            assert trace.dst_ip in client_ips
+
+    def test_deterministic(self, small_study):
+        config = CampaignConfig(seed=5, days=2, total_tests=300, orgs=("Cox",))
+        one = small_study.run_campaign(config)
+        two = small_study.run_campaign(config)
+        assert [r.download_bps for r in one.ndt_records] == [
+            r.download_bps for r in two.ndt_records
+        ]
+
+    def test_throughput_within_plan(self, small_study, campaign_result):
+        plans = {c.ip: c.plan_rate_bps for c in small_study.population.all_clients()}
+        for record in campaign_result.ndt_records[:300]:
+            assert record.download_bps <= plans[record.client_ip] + 1
+
+    def test_unknown_org_rejected(self, small_study):
+        with pytest.raises(KeyError):
+            small_study.run_campaign(
+                CampaignConfig(seed=1, total_tests=10, orgs=("Nope",))
+            )
+
+
+class TestUploadMeasurement:
+    def test_upload_measured_and_below_download_plan(self, small_study, campaign_result):
+        uploads = [r.upload_bps for r in campaign_result.ndt_records]
+        assert all(u > 0 for u in uploads[:200])
+        plans = {c.ip: c.upload_rate_bps for c in small_study.population.all_clients()}
+        for record in campaign_result.ndt_records[:200]:
+            assert record.upload_bps <= plans[record.client_ip] + 1
+
+    def test_upload_usually_below_download(self, campaign_result):
+        below = sum(
+            1 for r in campaign_result.ndt_records if r.upload_bps < r.download_bps
+        )
+        assert below / len(campaign_result.ndt_records) > 0.8

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_writes_artifacts(self, tmp_path):
+        out = str(tmp_path / "data")
+        assert main(["--seed", "7", "generate", "--out-dir", out]) == 0
+        for name in ("pfx2as.txt", "as-rel.txt", "as-org.txt", "ixp-prefixes.txt"):
+            assert os.path.exists(os.path.join(out, name))
+
+    def test_artifacts_loadable(self, tmp_path):
+        from repro.data.topology_io import load_prefix_table, load_relationships
+
+        out = str(tmp_path / "data")
+        main(["--seed", "7", "generate", "--out-dir", out])
+        table = load_prefix_table(os.path.join(out, "pfx2as.txt"))
+        assert len(table) > 1000
+        rows = load_relationships(os.path.join(out, "as-rel.txt"))
+        assert len(rows) > 1000
+
+
+class TestCampaignAnalyze:
+    def test_campaign_then_analyze(self, tmp_path, capsys):
+        ndt = str(tmp_path / "ndt.csv")
+        traces = str(tmp_path / "tr.jsonl")
+        assert main([
+            "--seed", "7", "campaign", "--tests", "300", "--days", "2",
+            "--orgs", "Cox", "--out", ndt, "--traces", traces,
+        ]) == 0
+        assert os.path.exists(ndt) and os.path.exists(traces)
+        capsys.readouterr()
+        assert main(["analyze", "--ndt", ndt, "--min-samples", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "server ASN" in output
+
+    def test_bad_experiment_id(self):
+        assert main(["experiments", "not-an-id"]) == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_report_delegates(self, tmp_path, capsys):
+        path = str(tmp_path / "r.md")
+        assert main(["report", path, "tab1"]) == 0
+        assert os.path.exists(path)

@@ -1,0 +1,167 @@
+"""Tests for the client population and the measurement platforms."""
+
+from collections import Counter
+
+import pytest
+
+from repro.platforms.alexa import make_alexa_targets
+from repro.platforms.ark import make_ark_vps
+from repro.platforms.clients import ClientPopulation, PopulationConfig
+from repro.platforms.mlab import MLabConfig, MLabPlatform
+from repro.platforms.speedtest import SpeedtestConfig, SpeedtestPlatform
+from repro.topology.asgraph import ASRole
+from repro.util.ip import ip_in_prefix
+
+
+@pytest.fixture(scope="module")
+def population(tiny_internet):
+    return ClientPopulation(tiny_internet, PopulationConfig(seed=7, clients_per_million=10))
+
+
+class TestClientPopulation:
+    def test_all_access_orgs_have_clients(self, tiny_internet, population):
+        for org in ("Comcast", "ATT", "Sonic", "RCN"):
+            assert population.clients_of(org)
+
+    def test_sizes_scale_with_subscribers(self, population):
+        assert len(population.clients_of("Comcast")) > len(population.clients_of("Cox"))
+
+    def test_client_ips_in_org_prefixes(self, tiny_internet, population):
+        for client in population.clients_of("Comcast")[:50]:
+            prefixes = tiny_internet.client_prefixes[client.asn]
+            assert any(ip_in_prefix(client.ip, p.base, p.length) for p in prefixes)
+
+    def test_client_ips_unique(self, population):
+        ips = [c.ip for c in population.all_clients()]
+        assert len(ips) == len(set(ips))
+
+    def test_sibling_asns_used(self, population):
+        asns = {c.asn for c in population.clients_of("Comcast")}
+        assert len(asns) > 1, "clients should spread over sibling ASNs"
+
+    def test_cable_peak_dip(self, tiny_internet, population):
+        import random
+
+        client = next(
+            c for c in population.clients_of("Comcast") if c.access_tech == "cable"
+        )
+        rng = random.Random(1)
+        peak = population.draw_conditions(client, 21.0, rng)
+        rng = random.Random(1)
+        off = population.draw_conditions(client, 4.0, rng)
+        assert peak.effective_plan_bps < off.effective_plan_bps
+
+    def test_dsl_flat(self, tiny_internet, population):
+        import random
+
+        clients = [c for c in population.clients_of("Windstream") if c.access_tech == "dsl"]
+        client = clients[0]
+        rng = random.Random(1)
+        peak = population.draw_conditions(client, 21.0, rng)
+        rng = random.Random(1)
+        off = population.draw_conditions(client, 4.0, rng)
+        assert peak.effective_plan_bps == off.effective_plan_bps
+
+    def test_unknown_org(self, population):
+        with pytest.raises(KeyError):
+            population.clients_of("NotAnISP")
+
+
+class TestMLab:
+    def test_server_count(self, tiny_internet):
+        platform = MLabPlatform(tiny_internet, MLabConfig(seed=7, server_count=30))
+        assert len(platform.servers()) == 30
+
+    def test_hosts_are_carriers(self, tiny_internet):
+        platform = MLabPlatform(tiny_internet, MLabConfig(seed=7, server_count=30))
+        host_roles = {
+            tiny_internet.graph.get(s.asn).role for s in platform.servers()
+        }
+        assert host_roles <= {ASRole.TIER1, ASRole.TRANSIT}
+
+    def test_nearest_selection(self, tiny_internet):
+        import random
+
+        platform = MLabPlatform(tiny_internet, MLabConfig(seed=7, server_count=60))
+        from repro.topology.geo import city_by_code, geo_distance_km
+
+        server = platform.select_server("atl", random.Random(1), "nearest")
+        best = min(
+            geo_distance_km(city_by_code("atl"), city_by_code(s.city))
+            for s in platform.servers()
+        )
+        assert geo_distance_km(
+            city_by_code("atl"), city_by_code(server.city)
+        ) == pytest.approx(best)
+
+    def test_bad_policy_rejected(self, tiny_internet):
+        import random
+
+        platform = MLabPlatform(tiny_internet, MLabConfig(seed=7, server_count=10))
+        with pytest.raises(ValueError):
+            platform.select_server("atl", random.Random(1), "nope")
+
+    def test_daemon_serializes(self, tiny_internet):
+        platform = MLabPlatform(tiny_internet, MLabConfig(seed=7, server_count=10))
+        site = platform.sites()[0]
+        done = platform.daemon_try_acquire(site, now_s=0.0)
+        assert done is not None
+        assert platform.daemon_try_acquire(site, now_s=1.0) is None  # busy
+        assert platform.daemon_try_acquire(site, now_s=done + 1.0) is not None
+
+    def test_regional_sites(self, tiny_internet):
+        platform = MLabPlatform(tiny_internet, MLabConfig(seed=7, server_count=60))
+        sites = platform.select_regional_sites("nyc", count=5)
+        assert 1 <= len(sites) <= 5
+
+
+class TestSpeedtest:
+    def test_count_and_diversity(self, tiny_internet):
+        platform = SpeedtestPlatform(tiny_internet, SpeedtestConfig(seed=7, server_count=120))
+        servers = platform.servers()
+        assert len(servers) == 120
+        roles = Counter(tiny_internet.graph.get(s.asn).role for s in servers)
+        assert len(roles) >= 3, "hosting should be diverse"
+
+
+class TestArkAndAlexa:
+    def test_sixteen_vps(self, tiny_internet):
+        vps = make_ark_vps(tiny_internet)
+        assert len(vps) == 16
+        assert sum(1 for vp in vps if vp.org_name == "Comcast") == 5
+
+    def test_vp_city_is_home_city(self, tiny_internet):
+        for vp in make_ark_vps(tiny_internet):
+            assert vp.city in tiny_internet.graph.get(vp.asn).home_cities
+
+    def test_alexa_targets(self, tiny_internet):
+        targets = make_alexa_targets(tiny_internet, count=100, seed=7)
+        assert len(targets) == 100
+        content = sum(
+            1 for t in targets
+            if tiny_internet.graph.get(t.asn).role is ASRole.CONTENT
+        )
+        assert content > 60, "most popular sites live on content networks"
+
+    def test_alexa_deterministic(self, tiny_internet):
+        one = make_alexa_targets(tiny_internet, count=50, seed=7)
+        two = make_alexa_targets(tiny_internet, count=50, seed=7)
+        assert [(t.domain, t.ip) for t in one] == [(t.domain, t.ip) for t in two]
+
+
+class TestUpload:
+    def test_upload_rates_asymmetric(self, tiny_internet, population):
+        for client in population.clients_of("Comcast")[:20]:
+            assert client.upload_rate_bps < client.plan_rate_bps
+            assert client.upload_rate_bps > 0
+
+    def test_fiber_less_asymmetric_than_cable(self, population):
+        cable = [c for c in population.clients_of("Comcast") if c.access_tech == "cable"]
+        fiber = [c for c in population.clients_of("Verizon") if c.access_tech == "fiber"]
+        if not cable or not fiber:
+            import pytest
+
+            pytest.skip("tech mix sample too small")
+        cable_ratio = cable[0].upload_rate_bps / cable[0].plan_rate_bps
+        fiber_ratio = fiber[0].upload_rate_bps / fiber[0].plan_rate_bps
+        assert fiber_ratio > cable_ratio

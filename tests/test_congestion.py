@@ -1,0 +1,61 @@
+"""Tests for congestion classification and threshold sweeps."""
+
+import pytest
+
+from repro.core.congestion import classify_series, threshold_sweep
+from repro.stats.diurnal_bins import bin_hourly
+
+
+def _series(offpeak, peak, n=10):
+    samples = []
+    for hour in (10, 11, 12, 13, 14):
+        samples += [(hour + 0.5, offpeak)] * n
+    for hour in (19, 20, 21, 22):
+        samples += [(hour + 0.5, peak)] * n
+    return bin_hourly(samples)
+
+
+class TestClassify:
+    def test_congested_when_collapsed(self):
+        verdict = classify_series(_series(20.0, 1.0), threshold=0.5)
+        assert verdict.congested
+        assert verdict.relative_drop > 0.9
+
+    def test_healthy_dip_not_congested_at_half(self):
+        verdict = classify_series(_series(30.0, 24.0), threshold=0.5)
+        assert not verdict.congested
+        assert 0.15 < verdict.relative_drop < 0.25
+
+    def test_threshold_boundary(self):
+        series = _series(100.0, 49.0)  # 51% drop
+        assert classify_series(series, threshold=0.5).congested
+        assert not classify_series(series, threshold=0.6).congested
+
+    def test_counts_reported(self):
+        verdict = classify_series(_series(10.0, 5.0, n=7))
+        assert verdict.min_hour_count == 7
+        assert verdict.sample_count == 9 * 7
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            classify_series(_series(10, 5), threshold=0.0)
+        with pytest.raises(ValueError):
+            classify_series(_series(10, 5), threshold=1.0)
+
+
+class TestSweep:
+    def test_monotone_nonincreasing(self):
+        groups = {
+            "collapse": _series(20.0, 0.5),
+            "dip": _series(30.0, 22.0),
+            "flat": _series(25.0, 25.0),
+        }
+        rows = threshold_sweep(groups, thresholds=(0.1, 0.3, 0.5, 0.9))
+        counts = [row.congested_count for row in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_low_threshold_sweeps_in_the_dip(self):
+        groups = {"collapse": _series(20.0, 0.5), "dip": _series(30.0, 22.0)}
+        rows = threshold_sweep(groups, thresholds=(0.2, 0.9))
+        assert rows[0].congested_groups == ("collapse", "dip")
+        assert rows[1].congested_groups == ("collapse",)

@@ -1,0 +1,97 @@
+"""Tests for the §5 coverage analysis."""
+
+import pytest
+
+from repro.core.coverage import (
+    BorderSet,
+    collect_target_traces,
+    coverage_analysis,
+)
+from repro.inference.bdrmap import collect_bdrmap_traces
+from repro.platforms.ark import make_ark_vps
+from repro.topology.asgraph import Relationship
+
+
+class TestBorderSet:
+    def test_counts(self):
+        border_set = BorderSet(
+            "x", frozenset({1, 2}), frozenset({(10, 1), (11, 2), (12, 2)})
+        )
+        assert border_set.as_count() == 2
+        assert border_set.router_count() == 3
+
+    def test_restrict(self):
+        border_set = BorderSet(
+            "x", frozenset({1, 2}), frozenset({(10, 1), (11, 2)})
+        )
+        peers_only = border_set.restrict(frozenset({2}))
+        assert peers_only.as_level == frozenset({2})
+        assert peers_only.router_level == frozenset({(11, 2)})
+
+
+@pytest.fixture(scope="module")
+def vp_report(small_study):
+    study = small_study
+    vp = next(v for v in make_ark_vps(study.internet) if v.label == "COX-1")
+    engine = study.traceroute_engine
+    bdrmap_traces = collect_bdrmap_traces(study.internet, vp, engine)
+    mlab_targets = [(s.ip, s.asn, s.city) for s in study.mlab.servers()]
+    st_targets = [(s.ip, s.asn, s.city) for s in study.speedtest.servers()]
+    alexa_targets = [(t.ip, t.asn, t.city) for t in study.alexa_targets(count=120)]
+    platform_traces = {
+        "mlab": collect_target_traces(study.internet, vp, engine, mlab_targets, "mlab"),
+        "speedtest": collect_target_traces(study.internet, vp, engine, st_targets, "speedtest"),
+        "alexa": collect_target_traces(study.internet, vp, engine, alexa_targets, "alexa"),
+    }
+    return study, coverage_analysis(
+        study.internet, vp, bdrmap_traces, platform_traces, study.oracle
+    )
+
+
+class TestCoverageAnalysis:
+    def test_fractions_bounded(self, vp_report):
+        _study, report = vp_report
+        for name in ("mlab", "speedtest", "alexa"):
+            for level in ("as", "router"):
+                fraction = report.coverage_fraction(name, level)
+                assert 0.0 <= fraction <= 1.0
+
+    def test_platform_subset_of_discovered_mostly(self, vp_report):
+        _study, report = vp_report
+        # Coverage is computed against the bdrmap denominator; the covered
+        # intersection can never exceed it.
+        covered = len(
+            report.reachable["mlab"].as_level & report.discovered.as_level
+        )
+        assert covered <= report.discovered.as_count()
+
+    def test_speedtest_covers_more_than_mlab(self, vp_report):
+        _study, report = vp_report
+        assert report.coverage_fraction("speedtest", "as") >= report.coverage_fraction(
+            "mlab", "as"
+        )
+
+    def test_peers_better_covered_than_all(self, vp_report):
+        # A tendency in the paper, not an invariant — at the reduced test
+        # scale a VP can flip by a little, so allow slack.
+        _study, report = vp_report
+        all_frac = report.coverage_fraction("mlab", "as")
+        peer_frac = report.coverage_fraction("mlab", "as", peers_only=True)
+        assert peer_frac >= all_frac - 0.05
+
+    def test_set_difference_antisymmetric_bounds(self, vp_report):
+        _study, report = vp_report
+        a_minus_b = report.set_difference("alexa", "mlab")
+        assert 0 <= a_minus_b <= report.reachable["alexa"].as_count()
+
+    def test_relationships_annotated(self, vp_report):
+        _study, report = vp_report
+        assert report.discovered.as_level <= set(report.relationships)
+        assert any(
+            rel is Relationship.PEER for rel in report.relationships.values()
+        )
+
+    def test_bad_level_rejected(self, vp_report):
+        _study, report = vp_report
+        with pytest.raises(ValueError):
+            report.coverage_fraction("mlab", "nope")

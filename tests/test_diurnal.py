@@ -1,0 +1,56 @@
+"""Tests for diurnal load profiles."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.diurnal import (
+    DiurnalProfile,
+    cable_contention,
+    crowdsourced_test_intensity,
+)
+
+
+class TestDiurnalProfile:
+    def test_peak_at_evening(self):
+        profile = DiurnalProfile(base=0.2, evening_amplitude=0.8)
+        assert profile.value(21.0) > profile.value(4.0)
+
+    def test_peak_trough_scan(self):
+        profile = DiurnalProfile(base=0.2, evening_amplitude=0.8)
+        assert profile.peak_value() > profile.trough_value()
+        assert profile.peak_value() <= 0.2 + 0.8 + 1e-9
+
+    def test_wraparound_continuity(self):
+        profile = DiurnalProfile(base=0.1, evening_amplitude=0.9, evening_peak_hour=23.5)
+        # Just past midnight must still feel the 23:30 peak.
+        assert profile.value(0.25) > profile.value(12.0)
+
+    def test_never_negative(self):
+        profile = DiurnalProfile(base=-0.5, evening_amplitude=0.1)
+        assert profile.value(3.0) == 0.0
+
+    def test_can_exceed_one(self):
+        profile = DiurnalProfile(base=0.4, evening_amplitude=1.0)
+        assert profile.peak_value() > 1.0  # a congested link
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_value_defined_for_any_hour(self, hour):
+        profile = DiurnalProfile(base=0.3, evening_amplitude=0.5)
+        value = profile.value(hour)
+        assert 0.0 <= value <= 0.3 + 0.5 + 1e-9
+
+    @given(st.floats(min_value=0, max_value=24))
+    def test_24h_periodic(self, hour):
+        profile = DiurnalProfile(base=0.3, evening_amplitude=0.5, day_amplitude=0.2)
+        assert abs(profile.value(hour) - profile.value(hour + 24)) < 1e-12
+
+
+class TestDemandCurves:
+    def test_test_intensity_peaks_in_evening(self):
+        assert crowdsourced_test_intensity(20.5) > crowdsourced_test_intensity(4.0)
+
+    def test_test_intensity_positive(self):
+        assert all(crowdsourced_test_intensity(h) > 0 for h in range(24))
+
+    def test_cable_contention_evening_heavy(self):
+        assert cable_contention(21.0) > cable_contention(13.0) > cable_contention(4.5)

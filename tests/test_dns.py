@@ -1,0 +1,59 @@
+"""Tests for reverse-DNS naming and parsing."""
+
+from repro.topology.dns import (
+    ReverseDNS,
+    border_interface_name,
+    domain_of,
+    neighbor_tag,
+    parse_interface_name,
+)
+
+
+class TestNaming:
+    def test_paper_example(self):
+        name = border_interface_name("Level3", "Cox", "edge", 5, "Dallas", 3)
+        assert name == "COX-COMMUNI.edge5.Dallas3.Level3.net"
+
+    def test_domain_strips_punctuation(self):
+        assert domain_of("Time Warner-Cable") == "TimeWarnerCable.net"
+
+    def test_neighbor_tag_short(self):
+        assert neighbor_tag("Cox") == "COX-COMMUNI"
+
+    def test_neighbor_tag_long(self):
+        tag = neighbor_tag("HurricaneElectricBackbone")
+        assert len(tag) <= 12
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        name = border_interface_name("Level3", "Cox", "edge", 5, "Dallas", 3)
+        parsed = parse_interface_name(name)
+        assert parsed is not None
+        assert parsed.role == "edge"
+        assert parsed.router_index == 5
+        assert parsed.city == "Dallas"
+        assert parsed.domain == "Level3.net"
+
+    def test_router_key_groups_same_router(self):
+        one = parse_interface_name("COX-COMMUNI.edge5.Dallas3.Level3.net")
+        two = parse_interface_name("COX-COMMUNI.edge5.Dallas3.Level3.net")
+        assert one.router_key() == two.router_key()
+
+    def test_router_key_distinguishes_routers(self):
+        one = parse_interface_name("COX-COMMUNI.edge5.Dallas3.Level3.net")
+        two = parse_interface_name("COX-COMMUNI.ear1.SanJose3.Level3.net")
+        assert one.router_key() != two.router_key()
+
+    def test_parse_garbage(self):
+        assert parse_interface_name("not-a-ptr-name") is None
+
+
+class TestReverseDNS:
+    def test_lookup_roundtrip(self):
+        rdns = ReverseDNS()
+        rdns.set_name(12345, "a.edge1.Dallas1.X.net")
+        assert rdns.lookup(12345) == "a.edge1.Dallas1.X.net"
+
+    def test_missing_record(self):
+        assert ReverseDNS().lookup(1) is None

@@ -1,0 +1,17 @@
+"""Run the doctest examples embedded in API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.topology.dns
+import repro.util.ip
+
+_MODULES = [repro.util.ip, repro.topology.dns]
+
+
+@pytest.mark.parametrize("module", _MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests collected from {module.__name__}"

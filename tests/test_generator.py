@@ -1,0 +1,139 @@
+"""Tests for the synthetic Internet generator (structure + determinism)."""
+
+import pytest
+
+from repro.topology.asgraph import ASRole, Relationship
+from repro.topology.generator import InternetConfig, generate_internet
+from repro.topology.routers import RouterRole
+from tests.conftest import TINY_CONFIG
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self, tiny_internet):
+        again = generate_internet(TINY_CONFIG)
+        assert again.summary() == tiny_internet.summary()
+        ours = [(l.link_id, l.ip_pair()) for l in tiny_internet.fabric.interconnects()]
+        theirs = [(l.link_id, l.ip_pair()) for l in again.fabric.interconnects()]
+        assert ours == theirs
+
+    def test_different_seed_differs(self, tiny_internet):
+        other = generate_internet(InternetConfig(seed=8, n_stub=60, n_transit=6))
+        assert other.summary() != tiny_internet.summary()
+
+    def test_bad_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            generate_internet(InternetConfig(epoch="2020"))
+
+
+class TestStructure:
+    def test_roster_present(self, tiny_internet):
+        for name in ("Level3", "GTT", "Comcast", "ATT", "Cox", "Sonic", "RCN"):
+            assert tiny_internet.as_named(name) is not None
+
+    def test_tier1_full_mesh(self, tiny_internet):
+        tier1s = [a for a in tiny_internet.graph.ases_by_role(ASRole.TIER1)
+                  if tiny_internet.orgs.org_of(a.asn).primary == a.asn]
+        for i, a in enumerate(tier1s):
+            for b in tier1s[i + 1:]:
+                assert tiny_internet.graph.relationship(a.asn, b.asn) is Relationship.PEER
+
+    def test_stub_count(self, tiny_internet):
+        stubs = tiny_internet.graph.ases_by_role(ASRole.STUB)
+        assert len(stubs) == 60
+
+    def test_every_as_has_prefixes(self, tiny_internet):
+        for autonomous_system in tiny_internet.graph:
+            assert tiny_internet.client_prefixes[autonomous_system.asn]
+            assert tiny_internet.infra_prefixes[autonomous_system.asn]
+
+    def test_every_as_has_core_router(self, tiny_internet):
+        for autonomous_system in tiny_internet.graph:
+            for city in autonomous_system.home_cities:
+                assert tiny_internet.fabric.core_router_of(autonomous_system.asn, city)
+
+    def test_access_isps_have_access_routers(self, tiny_internet):
+        comcast = tiny_internet.as_named("Comcast")
+        routers = [
+            r
+            for city in comcast.home_cities
+            for r in tiny_internet.fabric.access_routers_of(comcast.asn, city)
+        ]
+        assert routers
+        assert all(r.role is RouterRole.ACCESS for r in routers)
+
+
+class TestInterconnects:
+    def test_cox_hotspot_layout(self, tiny_internet):
+        level3 = tiny_internet.as_named("Level3")
+        cox = tiny_internet.as_named("Cox")
+        links = tiny_internet.fabric.links_between(level3.asn, cox.asn)
+        assert len(links) == 39
+        from collections import Counter
+
+        group_sizes = sorted(Counter(l.group_id for l in links).values(), reverse=True)
+        assert group_sizes[:4] == [12, 9, 7, 5]
+        cities = {l.city_code for l in links if l.group_id == max(
+            Counter(l.group_id for l in links), key=lambda g: sum(
+                1 for x in links if x.group_id == g))}
+        assert cities == {"dfw"}
+
+    def test_comcast_sibling_richness(self, tiny_internet):
+        level3_org = tiny_internet.orgs.siblings(tiny_internet.as_named("Level3").asn)
+        comcast_org = tiny_internet.orgs.siblings(tiny_internet.as_named("Comcast").asn)
+        pairs = sum(
+            1
+            for a in level3_org
+            for b in comcast_org
+            if tiny_internet.fabric.links_between(a, b)
+        )
+        assert pairs == 18
+
+    def test_ptp_numbering_is_aligned_31(self, tiny_internet):
+        from repro.topology.routers import InterconnectKind
+
+        for link in tiny_internet.fabric.interconnects():
+            if link.kind is InterconnectKind.PRIVATE:
+                assert link.a_ip >> 1 == link.b_ip >> 1, "PNI must be one /31"
+
+    def test_ixp_links_numbered_from_ixp_space(self, tiny_internet):
+        from repro.topology.routers import InterconnectKind
+
+        ixp_links = [
+            l for l in tiny_internet.fabric.interconnects()
+            if l.kind is InterconnectKind.IXP
+        ]
+        assert ixp_links, "expected some public peering"
+        for link in ixp_links:
+            assert tiny_internet.ixps.contains_ip(link.a_ip)
+            assert tiny_internet.ixps.contains_ip(link.b_ip)
+
+    def test_interface_ownership_ground_truth(self, tiny_internet):
+        # A border interface's true owner comes from the fabric, even when
+        # numbered from the neighbour's space.
+        for link in tiny_internet.fabric.interconnects()[:200]:
+            assert tiny_internet.true_owner_asn(link.a_ip) == tiny_internet.fabric.router(
+                link.a_router_id
+            ).asn
+
+    def test_loopbacks_never_share_a_31(self, tiny_internet):
+        # Loopback allocation must skip so the MAP-IT /31 heuristic can
+        # trust alignment. Collect core-router interfaces per AS.
+        seen: dict[int, int] = {}
+        for autonomous_system in list(tiny_internet.graph)[:50]:
+            for router in tiny_internet.fabric.routers_of_as(autonomous_system.asn):
+                if router.role is RouterRole.BORDER:
+                    continue
+                for iface in tiny_internet.fabric.interfaces_of(router.router_id):
+                    slot = iface.ip >> 1
+                    assert slot not in seen, "two loopbacks in one /31"
+                    seen[slot] = iface.ip
+
+
+class TestEpochs:
+    def test_2017_grows_fabric(self):
+        base = generate_internet(TINY_CONFIG)
+        grown = generate_internet(
+            InternetConfig(seed=7, n_stub=60, n_transit=6, epoch="2017")
+        )
+        assert grown.summary()["interconnects"] > base.summary()["interconnects"]
+        assert grown.summary()["ases"] > base.summary()["ases"]

@@ -1,0 +1,64 @@
+"""Tests for geography and propagation delay."""
+
+import pytest
+
+from repro.topology.geo import (
+    CITIES,
+    city_by_code,
+    geo_distance_km,
+    propagation_delay_ms,
+)
+
+
+class TestCities:
+    def test_codes_unique(self):
+        codes = [c.code for c in CITIES]
+        assert len(codes) == len(set(codes))
+
+    def test_lookup(self):
+        assert city_by_code("atl").name == "Atlanta"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            city_by_code("zzz")
+
+    def test_weights_positive(self):
+        assert all(c.population_weight > 0 for c in CITIES)
+
+
+class TestDistance:
+    def test_self_distance_zero(self):
+        atl = city_by_code("atl")
+        assert geo_distance_km(atl, atl) == 0.0
+
+    def test_symmetric(self):
+        a, b = city_by_code("nyc"), city_by_code("lax")
+        assert geo_distance_km(a, b) == pytest.approx(geo_distance_km(b, a))
+
+    def test_nyc_lax_plausible(self):
+        # Great-circle NYC-LA is ~3940 km.
+        distance = geo_distance_km(city_by_code("nyc"), city_by_code("lax"))
+        assert 3700 < distance < 4200
+
+    def test_triangle_inequality_sample(self):
+        nyc, chi, lax = (city_by_code(c) for c in ("nyc", "chi", "lax"))
+        assert geo_distance_km(nyc, lax) <= (
+            geo_distance_km(nyc, chi) + geo_distance_km(chi, lax) + 1e-6
+        )
+
+
+class TestDelay:
+    def test_metro_floor(self):
+        atl = city_by_code("atl")
+        assert propagation_delay_ms(atl, atl) >= 0.2
+
+    def test_transcontinental_delay(self):
+        # One-way NYC-LA in fiber with route inflation: roughly 25-40 ms.
+        delay = propagation_delay_ms(city_by_code("nyc"), city_by_code("lax"))
+        assert 20 < delay < 45
+
+    def test_monotone_with_distance(self):
+        nyc = city_by_code("nyc")
+        assert propagation_delay_ms(nyc, city_by_code("phl")) < propagation_delay_ms(
+            nyc, city_by_code("sea")
+        )

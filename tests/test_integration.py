@@ -1,0 +1,91 @@
+"""End-to-end integration: the paper's headline phenomena on a small world.
+
+These are the claims the reproduction stands on; each test exercises the
+full pipeline (topology → routing → campaign → inference/statistics) and
+asserts the *qualitative* result the paper reports.
+"""
+
+import pytest
+
+from repro.core.congestion import classify_series, diurnal_series
+from repro.core.matching import match_ndt_to_traceroutes
+from repro.platforms.campaign import CampaignConfig
+from repro.stats.bias import hour_sample_imbalance
+
+
+@pytest.fixture(scope="module")
+def fig5_campaign(small_study):
+    return small_study.run_campaign(
+        CampaignConfig(seed=9, days=21, total_tests=6000, orgs=("ATT", "Comcast"))
+    )
+
+
+class TestFigure5Phenomena:
+    def _records(self, study, result, org, source="GTT"):
+        source_asn = study.oracle.canonical(study.internet.as_named(source).asn)
+        return [
+            r
+            for r in result.ndt_records
+            if r.gt_client_org == org
+            and study.oracle.canonical(r.server_asn) == source_asn
+        ]
+
+    def test_att_via_gtt_collapses_at_peak(self, small_study, fig5_campaign):
+        records = self._records(small_study, fig5_campaign, "ATT")
+        assert len(records) > 100
+        verdict = classify_series(diurnal_series(records), threshold=0.5)
+        assert verdict.congested
+        assert verdict.peak_median < 3.0, "paper: below 1 Mbps at peak"
+        assert verdict.relative_drop > 0.7
+
+    def test_comcast_via_gtt_dips_but_is_not_congested(self, small_study, fig5_campaign):
+        records = self._records(small_study, fig5_campaign, "Comcast")
+        assert len(records) > 40
+        verdict = classify_series(diurnal_series(records), threshold=0.5)
+        assert not verdict.congested
+        assert verdict.relative_drop < 0.5, "paper: a 20-30% dip, not a collapse"
+
+    def test_sample_count_imbalance(self, small_study, fig5_campaign):
+        series = diurnal_series(
+            [r for r in fig5_campaign.ndt_records if r.gt_client_org == "Comcast"]
+        )
+        assert hour_sample_imbalance(series.counts()) > 0.3
+
+    def test_congestion_raises_rtt_and_retx(self, small_study, fig5_campaign):
+        records = self._records(small_study, fig5_campaign, "ATT")
+        peak = [r for r in records if 19 <= r.local_hour <= 22]
+        off = [r for r in records if 9 <= r.local_hour <= 16]
+        assert peak and off
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean([r.rtt_ms for r in peak]) > mean([r.rtt_ms for r in off])
+        assert mean([r.retx_rate for r in peak]) > mean([r.retx_rate for r in off])
+
+
+class TestMatchingPhenomenon:
+    def test_busy_daemons_lose_traces(self, small_study):
+        # Compress a high rate into one day: matching must drop visibly
+        # below the light-load case.
+        heavy = small_study.run_campaign(
+            CampaignConfig(seed=5, days=1, total_tests=9000)
+        )
+        light = small_study.run_campaign(
+            CampaignConfig(seed=5, days=21, total_tests=2000)
+        )
+        heavy_match = match_ndt_to_traceroutes(
+            heavy.ndt_records, heavy.traceroute_records
+        ).matched_fraction
+        light_match = match_ndt_to_traceroutes(
+            light.ndt_records, light.traceroute_records
+        ).matched_fraction
+        assert heavy_match < light_match
+
+
+class TestGroundTruthConsistency:
+    def test_bottleneck_is_on_path(self, small_study, fig5_campaign):
+        for record in fig5_campaign.ndt_records[:500]:
+            if record.gt_bottleneck_link is not None:
+                assert record.gt_bottleneck_link in record.gt_crossed_links
+
+    def test_client_org_label_consistent(self, small_study, fig5_campaign):
+        for record in fig5_campaign.ndt_records[:200]:
+            assert small_study.org_label(record.gt_client_asn) == record.gt_client_org

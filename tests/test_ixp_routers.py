@@ -1,0 +1,108 @@
+"""Tests for the IXP registry and router fabric invariants."""
+
+import pytest
+
+from repro.topology.addressing import Prefix
+from repro.topology.ixp import IXP, IXPRegistry
+from repro.topology.routers import InterconnectKind, RouterFabric, RouterRole
+from repro.util.ip import parse_ip
+
+
+class TestIXPRegistry:
+    def _registry(self):
+        registry = IXPRegistry()
+        registry.add(IXP(1, "IX-NYC", "nyc", Prefix(parse_ip("184.0.0.0"), 22, 0)))
+        registry.add(IXP(2, "IX-CHI", "chi", Prefix(parse_ip("184.0.4.0"), 22, 0)))
+        return registry
+
+    def test_lookup(self):
+        registry = self._registry()
+        assert registry.get(1).name == "IX-NYC"
+        with pytest.raises(KeyError):
+            registry.get(9)
+
+    def test_duplicate_rejected(self):
+        registry = self._registry()
+        with pytest.raises(ValueError):
+            registry.add(IXP(1, "dup", "nyc", Prefix(parse_ip("184.0.8.0"), 22, 0)))
+
+    def test_contains_ip(self):
+        registry = self._registry()
+        assert registry.contains_ip(parse_ip("184.0.0.5"))
+        assert not registry.contains_ip(parse_ip("10.0.0.5"))
+
+    def test_in_city(self):
+        registry = self._registry()
+        assert [x.name for x in registry.in_city("chi")] == ["IX-CHI"]
+
+    def test_prefix_list(self):
+        assert len(self._registry().prefixes()) == 2
+
+
+class TestRouterFabric:
+    def test_duplicate_core_rejected(self):
+        fabric = RouterFabric()
+        fabric.new_router(1, "nyc", RouterRole.CORE)
+        with pytest.raises(ValueError):
+            fabric.new_router(1, "nyc", RouterRole.CORE)
+
+    def test_border_indices_increment(self):
+        fabric = RouterFabric()
+        first = fabric.new_router(1, "nyc", RouterRole.BORDER)
+        second = fabric.new_router(1, "nyc", RouterRole.BORDER)
+        assert (first.index_in_city, second.index_in_city) == (0, 1)
+
+    def test_duplicate_interface_rejected(self):
+        fabric = RouterFabric()
+        router = fabric.new_router(1, "nyc", RouterRole.CORE)
+        fabric.add_interface(100, router.router_id, 1)
+        with pytest.raises(ValueError):
+            fabric.add_interface(100, router.router_id, 1)
+
+    def test_interface_on_unknown_router(self):
+        fabric = RouterFabric()
+        with pytest.raises(KeyError):
+            fabric.add_interface(100, 42, 1)
+
+    def test_interconnect_indexing(self):
+        fabric = RouterFabric()
+        a = fabric.new_router(1, "nyc", RouterRole.BORDER)
+        b = fabric.new_router(2, "nyc", RouterRole.BORDER)
+        fabric.add_interface(10, a.router_id, 1)
+        fabric.add_interface(11, b.router_id, 1)
+        link = fabric.add_interconnect(
+            1, 2, a.router_id, b.router_id, 10, 11, "nyc",
+            InterconnectKind.PRIVATE, 1,
+        )
+        assert fabric.links_between(1, 2) == [link]
+        assert fabric.links_between(2, 1) == [link]
+        assert link in fabric.links_of_as(1)
+        assert link in fabric.links_of_as(2)
+        assert fabric.links_of_as(3) == []
+
+    def test_interconnect_orientation_helpers(self):
+        fabric = RouterFabric()
+        a = fabric.new_router(1, "nyc", RouterRole.BORDER)
+        b = fabric.new_router(2, "nyc", RouterRole.BORDER)
+        fabric.add_interface(10, a.router_id, 1)
+        fabric.add_interface(11, b.router_id, 1)
+        link = fabric.add_interconnect(
+            1, 2, a.router_id, b.router_id, 10, 11, "nyc",
+            InterconnectKind.PRIVATE, 1,
+        )
+        assert link.other_asn(1) == 2
+        assert link.other_asn(2) == 1
+        with pytest.raises(ValueError):
+            link.other_asn(3)
+        assert link.as_pair() == (1, 2)
+        assert link.ip_pair() == (10, 11)
+
+    def test_parallel_groups_distinct(self):
+        fabric = RouterFabric()
+        assert fabric.new_parallel_group() != fabric.new_parallel_group()
+
+    def test_owner_asn_of_ip(self, tiny_internet):
+        fabric = tiny_internet.fabric
+        link = fabric.interconnects()[0]
+        assert fabric.owner_asn_of_ip(link.a_ip) == fabric.router(link.a_router_id).asn
+        assert fabric.owner_asn_of_ip(999999999) is None

@@ -1,0 +1,116 @@
+"""Tests for link provisioning and the utilization/loss/queue model."""
+
+import pytest
+
+from repro.net.diurnal import DiurnalProfile
+from repro.net.link import (
+    BASE_LOSS,
+    CongestionDirective,
+    LinkParams,
+    ProvisioningConfig,
+    provision_links,
+)
+from repro.util.units import GBPS
+
+
+def _params(base=0.2, amp=0.3, capacity=10 * GBPS) -> LinkParams:
+    profile = DiurnalProfile(base=base, evening_amplitude=amp)
+    return LinkParams(
+        link_id=1, capacity_bps=capacity, profile=profile,
+        congested=profile.peak_value() >= 0.995,
+    )
+
+
+class TestLinkParams:
+    def test_loss_floor_off_peak(self):
+        params = _params()
+        assert params.loss_rate(4.0) == pytest.approx(BASE_LOSS)
+
+    def test_loss_rises_when_saturated(self):
+        congested = _params(base=0.4, amp=0.9)
+        assert congested.loss_rate(21.0) > 100 * BASE_LOSS
+
+    def test_loss_monotone_in_utilization(self):
+        params = _params(base=0.4, amp=0.9)
+        hours = [4.0, 12.0, 18.0, 21.0]
+        losses = [params.loss_rate(h) for h in hours]
+        utils = [params.utilization(h) for h in hours]
+        ordered = sorted(zip(utils, losses))
+        assert all(a[1] <= b[1] + 1e-12 for a, b in zip(ordered, ordered[1:]))
+
+    def test_loss_capped(self):
+        extreme = _params(base=1.0, amp=9.0)
+        assert extreme.loss_rate(21.0) <= 0.25
+
+    def test_queue_grows_with_load(self):
+        params = _params(base=0.3, amp=0.7)
+        assert params.queue_delay_ms(21.0) > params.queue_delay_ms(4.0)
+
+    def test_available_bw_collapses_at_peak(self):
+        congested = _params(base=0.4, amp=0.9)
+        assert congested.available_bps(21.0) < congested.available_bps(4.0) / 3
+
+
+class TestProvisioning:
+    def test_every_link_provisioned(self, tiny_internet):
+        network = provision_links(tiny_internet, ProvisioningConfig(seed=7))
+        assert len(network) == tiny_internet.fabric.interconnect_count()
+
+    def test_deterministic(self, tiny_internet):
+        one = provision_links(tiny_internet, ProvisioningConfig(seed=7))
+        two = provision_links(tiny_internet, ProvisioningConfig(seed=7))
+        for link in tiny_internet.fabric.interconnects()[:50]:
+            assert one.params(link.link_id).capacity_bps == two.params(link.link_id).capacity_bps
+
+    def test_directive_congests_org_pair(self, tiny_internet):
+        directive = CongestionDirective("GTT", "ATT", peak_load=1.3)
+        network = provision_links(
+            tiny_internet, ProvisioningConfig(seed=7, directives=(directive,))
+        )
+        gtt = tiny_internet.as_named("GTT")
+        att = tiny_internet.as_named("ATT")
+        links = tiny_internet.fabric.links_between(gtt.asn, att.asn)
+        assert links, "GTT-ATT adjacency required for this scenario"
+        assert all(network.params(l.link_id).congested for l in links)
+
+    def test_city_scoped_directive(self, tiny_internet):
+        directive = CongestionDirective("Level3", "Cox", city_code="dfw", peak_load=1.3)
+        network = provision_links(
+            tiny_internet, ProvisioningConfig(seed=7, directives=(directive,))
+        )
+        level3 = tiny_internet.as_named("Level3")
+        cox = tiny_internet.as_named("Cox")
+        for link in tiny_internet.fabric.links_between(level3.asn, cox.asn):
+            expected = link.city_code == "dfw"
+            assert network.params(link.link_id).congested == expected
+
+    def test_parallel_group_shares_parameters(self, tiny_internet):
+        network = provision_links(tiny_internet, ProvisioningConfig(seed=7))
+        level3 = tiny_internet.as_named("Level3")
+        cox = tiny_internet.as_named("Cox")
+        links = tiny_internet.fabric.links_between(level3.asn, cox.asn)
+        by_group: dict[int, set[float]] = {}
+        for link in links:
+            by_group.setdefault(link.group_id, set()).add(
+                network.params(link.link_id).capacity_bps
+            )
+        assert all(len(capacities) == 1 for capacities in by_group.values())
+
+    def test_default_world_mostly_healthy(self, tiny_internet):
+        network = provision_links(tiny_internet, ProvisioningConfig(seed=7))
+        congested = len(network.congested_link_ids())
+        assert congested < 0.05 * len(network)
+
+    def test_path_helpers(self, tiny_internet):
+        network = provision_links(tiny_internet, ProvisioningConfig(seed=7))
+        links = tuple(l.link_id for l in tiny_internet.fabric.interconnects()[:3])
+        loss = network.path_loss(links, 21.0)
+        assert 0 <= loss < 1
+        available, bottleneck = network.path_available_bps(links, 21.0)
+        assert bottleneck in links
+        assert available > 0
+
+    def test_unknown_link_raises(self, tiny_internet):
+        network = provision_links(tiny_internet, ProvisioningConfig(seed=7))
+        with pytest.raises(KeyError):
+            network.params(10**9)

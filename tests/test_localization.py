@@ -1,0 +1,71 @@
+"""Tests for per-IP-link congestion localization (the future-work analysis)."""
+
+import pytest
+
+from repro.core.localization import localize_per_link
+from repro.core.matching import match_ndt_to_traceroutes
+from repro.inference.mapit import MapIt
+from repro.platforms.campaign import CampaignConfig
+
+
+@pytest.fixture(scope="module")
+def localization(small_study):
+    result = small_study.run_campaign(
+        CampaignConfig(seed=61, days=21, total_tests=5000, orgs=("ATT", "Comcast"))
+    )
+    report = match_ndt_to_traceroutes(result.ndt_records, result.traceroute_records)
+    traces = {t.trace_id: t for t in result.traceroute_records}
+    pairs = [
+        (r, traces[report.matched[r.test_id]])
+        for r in result.ndt_records
+        if r.test_id in report.matched
+    ]
+    mapit_result = MapIt(small_study.oracle, small_study.internet.graph).infer(
+        [t.router_hop_ips() for _r, t in pairs]
+    )
+    return small_study, localize_per_link(pairs, mapit_result)
+
+
+class TestLocalization:
+    def test_links_carry_tests(self, localization):
+        _study, result = localization
+        assert result.verdicts
+        assert all(v.test_count > 0 for v in result.verdicts)
+
+    def test_thin_links_never_called_congested(self, localization):
+        _study, result = localization
+        for verdict in result.verdicts:
+            if verdict.test_count < 50:
+                assert not verdict.verdict.congested
+
+    def test_congested_links_match_ground_truth(self, localization):
+        study, result = localization
+        gt_pairs = {
+            study.internet.fabric.interconnect(link_id).ip_pair()
+            for link_id in study.links.congested_link_ids()
+        }
+        called = {v.link.ip_pair() for v in result.congested_links()}
+        if called:
+            precision = len(called & gt_pairs) / len(called)
+            assert precision >= 0.5
+
+    def test_some_congested_link_found(self, localization):
+        """The GTT-ATT directive must surface at the per-link level when
+        enough ATT tests crossed a congested interface."""
+        study, result = localization
+        gt_pairs = {
+            study.internet.fabric.interconnect(link_id).ip_pair()
+            for link_id in study.links.congested_link_ids()
+        }
+        classifiable = [
+            v for v in result.verdicts
+            if v.test_count >= 50 and v.link.ip_pair() in gt_pairs
+        ]
+        if not classifiable:
+            pytest.skip("no congested link accumulated 50 matched tests at this scale")
+        assert any(v.verdict.congested for v in classifiable)
+
+    def test_by_ip_pair_index(self, localization):
+        _study, result = localization
+        index = result.by_ip_pair()
+        assert len(index) == len(result.verdicts)

@@ -1,0 +1,62 @@
+"""Tests for organizations and sibling collapse."""
+
+import pytest
+
+from repro.topology.orgs import Organization, OrgMap
+
+
+def _org_map():
+    orgs = OrgMap()
+    orgs.add(Organization("org-a", "Alpha", (7922, 7015, 22909), primary_asn=7922))
+    orgs.add(Organization("org-b", "Beta", (3356,)))
+    return orgs
+
+
+class TestOrganization:
+    def test_primary_defaults_to_first(self):
+        org = Organization("o", "X", (20, 10))
+        assert org.primary == 20
+
+    def test_explicit_primary(self):
+        org = Organization("o", "X", (20, 10), primary_asn=10)
+        assert org.primary == 10
+
+    def test_primary_must_be_member(self):
+        with pytest.raises(ValueError):
+            Organization("o", "X", (20, 10), primary_asn=99)
+
+
+class TestOrgMap:
+    def test_siblings(self):
+        orgs = _org_map()
+        assert orgs.siblings(7015) == {7922, 7015, 22909}
+
+    def test_siblings_of_unmapped(self):
+        orgs = _org_map()
+        assert orgs.siblings(9999) == {9999}
+
+    def test_are_siblings(self):
+        orgs = _org_map()
+        assert orgs.are_siblings(7922, 22909)
+        assert not orgs.are_siblings(7922, 3356)
+        assert orgs.are_siblings(5, 5)  # identity even when unmapped
+
+    def test_canonical_uses_primary(self):
+        orgs = _org_map()
+        assert orgs.canonical_asn(7015) == 7922
+        assert orgs.canonical_asn(22909) == 7922
+        assert orgs.canonical_asn(1234) == 1234
+
+    def test_duplicate_org_rejected(self):
+        orgs = _org_map()
+        with pytest.raises(ValueError):
+            orgs.add(Organization("org-a", "Dup", (99,)))
+
+    def test_asn_in_two_orgs_rejected(self):
+        orgs = _org_map()
+        with pytest.raises(ValueError):
+            orgs.add(Organization("org-c", "Gamma", (3356, 77)))
+
+    def test_organizations_sorted(self):
+        orgs = _org_map()
+        assert [o.org_id for o in orgs.organizations()] == ["org-a", "org-b"]

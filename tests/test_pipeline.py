@@ -1,0 +1,66 @@
+"""Tests for the study builder and experiment plumbing."""
+
+import pytest
+
+from repro.core.pipeline import Study, StudyConfig, build_study, clear_study_cache
+from repro.experiments import EXPERIMENTS
+from repro.experiments.base import ExperimentResult
+from tests.conftest import SMALL_STUDY_CONFIG
+
+
+class TestBuildStudy:
+    def test_cached_identity(self, small_study):
+        assert build_study(SMALL_STUDY_CONFIG) is small_study
+
+    def test_components_wired(self, small_study):
+        assert small_study.internet.summary()["ases"] > 50
+        assert len(small_study.mlab.servers()) == SMALL_STUDY_CONFIG.mlab_server_count
+        assert len(small_study.speedtest.servers()) == SMALL_STUDY_CONFIG.speedtest_server_count
+        assert small_study.population.all_clients()
+
+    def test_org_labels(self, small_study):
+        comcast = small_study.internet.as_named("Comcast")
+        assert small_study.org_label(comcast.asn) == "Comcast"
+        siblings = small_study.internet.orgs.siblings(comcast.asn)
+        for sibling in siblings:
+            assert small_study.org_label(sibling) == "Comcast"
+
+    def test_directives_provisioned(self, small_study):
+        # The default scenario must congest at least one GTT-ATT link if
+        # the adjacency exists.
+        gtt = small_study.internet.as_named("GTT")
+        att = small_study.internet.as_named("ATT")
+        links = small_study.internet.fabric.links_between(gtt.asn, att.asn)
+        if not links:
+            pytest.skip("no GTT-ATT adjacency at this seed")
+        assert any(
+            small_study.links.params(l.link_id).congested for l in links
+        )
+
+
+class TestExperimentRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "tab1", "tab2", "tab3", "fig1", "fig2", "fig3", "fig4", "fig5",
+            "sec41", "sec54", "sec62", "val-mapit", "val-bdrmap", "abl-tomo",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_tab1_runs(self):
+        result = EXPERIMENTS["tab1"]()
+        assert isinstance(result, ExperimentResult)
+        assert len(result.rows) == 12
+        assert result.rows[0][0] == "Comcast"
+
+    def test_result_rendering(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="demo",
+            headers=["a", "b"],
+            rows=[[1, 2.5], ["long-cell", 3]],
+            notes={"k": "v"},
+        )
+        text = result.to_text()
+        assert "demo" in text
+        assert "long-cell" in text
+        assert "note k: v" in text

@@ -1,0 +1,98 @@
+"""Tests for ASCII charts and markdown report rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.reporting.ascii import bar_chart, hourly_series_chart, stacked_bar_chart
+from repro.reporting.markdown import render_markdown_report
+
+
+class TestBarChart:
+    def test_renders_all_series(self):
+        chart = bar_chart([("A", {"x": 10, "y": 5}), ("B", {"x": 2})])
+        assert "A" in chart and "B" in chart
+        assert chart.count("|") == 3  # three bars
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart([("A", {"x": 1000}), ("B", {"x": 1})], width=40)
+        logged = bar_chart([("A", {"x": 1000}), ("B", {"x": 1})], width=40, log_scale=True)
+        small_linear = [l for l in linear.splitlines() if l.startswith("B")][0]
+        small_logged = [l for l in logged.splitlines() if l.startswith("B")][0]
+        assert small_logged.count("█") > small_linear.count("█")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_zero_values(self):
+        chart = bar_chart([("A", {"x": 0})])
+        assert "A" in chart
+
+
+class TestStackedBar:
+    def test_bar_width_constant(self):
+        chart = stacked_bar_chart(
+            [("A", {"one": 0.9, "two": 0.1}), ("B", {"one": 0.2, "two": 0.8})],
+            width=30,
+        )
+        bars = [line for line in chart.splitlines() if line.rstrip().endswith("|")]
+        widths = {line.index("|", 1) - line.index("|") for line in bars}
+        # every bar spans exactly `width` cells between its pipes
+        for line in bars:
+            inner = line[line.index("|") + 1 : line.rindex("|")]
+            assert len(inner) == 30
+
+    def test_legend_present(self):
+        chart = stacked_bar_chart([("A", {"one": 1.0, "two": 0.0})])
+        assert "█=one" in chart
+
+    def test_too_many_categories(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart([("A", {str(i): 1.0 for i in range(9)})])
+
+
+class TestHourlySeries:
+    def test_requires_24(self):
+        with pytest.raises(ValueError):
+            hourly_series_chart([1.0] * 23)
+
+    def test_nan_renders_blank(self):
+        values = [math.nan] * 24
+        chart = hourly_series_chart(values)
+        body = [l for l in chart.splitlines() if l.startswith("|")]
+        assert all(set(line[1:25]) <= {" "} for line in body)
+
+    def test_peak_column_full(self):
+        values = [0.0] * 24
+        values[21] = 100.0
+        chart = hourly_series_chart(values, height=4)
+        top_row = [l for l in chart.splitlines() if l.startswith("|")][0]
+        assert top_row[22] == "█"  # column for hour 21 (offset by pipe)
+
+
+class TestMarkdownReport:
+    def _result(self):
+        return ExperimentResult(
+            experiment_id="fig1",
+            title="demo",
+            headers=["ISP", "tests", "1 hop", "2 hops", "2+ hops", "paper 1-hop"],
+            rows=[["Comcast", 100, 0.9, 0.1, 0.0, 0.96]],
+            notes={"overall_one_hop_fraction": 0.9},
+        )
+
+    def test_summary_and_sections(self):
+        report = render_markdown_report([self._result()])
+        assert "| `fig1` |" in report
+        assert "## fig1: demo" in report
+        assert "overall_one_hop_fraction" in report
+
+    def test_fig1_gets_stacked_chart(self):
+        report = render_markdown_report([self._result()])
+        assert "█=1 hop" in report
+
+    def test_generic_result_no_figure(self):
+        result = ExperimentResult("tab1", "t", ["a"], [["x"]], {})
+        report = render_markdown_report([result])
+        assert "```" not in report

@@ -1,0 +1,65 @@
+"""Tests for topology-aware server selection (§7 recommendation)."""
+
+import random
+
+import pytest
+
+from repro.platforms.campaign import CampaignConfig
+
+
+class TestDirectSelection:
+    def test_direct_host_is_interconnected(self, small_study):
+        internet = small_study.internet
+        windstream = internet.as_named("Windstream")
+        client = small_study.population.clients_of("Windstream")[0]
+        server = small_study.mlab.select_server_direct(
+            client.city, client.asn, random.Random(1)
+        )
+        host_siblings = internet.orgs.siblings(server.asn)
+        client_siblings = internet.orgs.siblings(windstream.asn)
+        assert any(
+            internet.graph.relationship(h, c) is not None
+            for h in host_siblings
+            for c in client_siblings
+        )
+
+    def test_direct_policy_raises_one_hop_fraction(self, small_study):
+        def one_hop_fraction(policy):
+            result = small_study.run_campaign(
+                CampaignConfig(
+                    seed=31, days=5, total_tests=800,
+                    orgs=("Windstream", "Charter"), selection_policy=policy,
+                    burst_prob=0.0,
+                )
+            )
+            one_hop = 0
+            for record in result.ndt_records:
+                orgs = []
+                for link_id in record.gt_crossed_links:
+                    link = small_study.internet.fabric.interconnect(link_id)
+                    for asn in (link.a_asn, link.b_asn):
+                        label = small_study.org_label(asn)
+                        if not orgs or orgs[-1] != label:
+                            orgs.append(label)
+                if len(dict.fromkeys(orgs)) <= 2:
+                    one_hop += 1
+            return one_hop / len(result.ndt_records)
+
+        assert one_hop_fraction("direct") > one_hop_fraction("nearest")
+
+    def test_regional_policy_spreads_sites(self, small_study):
+        result = small_study.run_campaign(
+            CampaignConfig(
+                seed=32, days=5, total_tests=500,
+                orgs=("Comcast",), selection_policy="regional", burst_prob=0.0,
+            )
+        )
+        servers = {r.server_id for r in result.ndt_records}
+        nearest = small_study.run_campaign(
+            CampaignConfig(
+                seed=32, days=5, total_tests=500,
+                orgs=("Comcast",), selection_policy="nearest", burst_prob=0.0,
+            )
+        )
+        nearest_servers = {r.server_id for r in nearest.ndt_records}
+        assert len(servers) >= len(nearest_servers)

@@ -1,0 +1,98 @@
+"""Tests for TCP congestion signatures."""
+
+import pytest
+
+from repro.core.signatures import (
+    FlowLimit,
+    FlowRTTSignature,
+    classify_flow,
+    signature_from_observation,
+)
+
+
+def _sig(baseline, rtt_min, rtt_max):
+    return FlowRTTSignature(
+        baseline_rtt_ms=baseline, rtt_min_ms=rtt_min, rtt_max_ms=rtt_max
+    )
+
+
+class TestFeatures:
+    def test_floor_elevation(self):
+        assert _sig(20, 30, 31).floor_elevation() == pytest.approx(0.5)
+
+    def test_floor_never_negative(self):
+        assert _sig(20, 18, 30).floor_elevation() == 0.0
+
+    def test_floor_delta(self):
+        assert _sig(20, 55, 56).floor_delta_ms() == pytest.approx(35.0)
+
+    def test_self_inflation(self):
+        assert _sig(20, 20, 45).self_inflation() == pytest.approx(1.25)
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            _sig(0, 10, 20).floor_elevation()
+
+
+class TestClassifier:
+    def test_external_congestion(self):
+        # Floor already 40 ms above a 20 ms baseline: standing queue.
+        assert classify_flow(_sig(20, 60, 64)) is FlowLimit.EXTERNAL_CONGESTION
+
+    def test_self_induced(self):
+        # Floor at baseline; the flow inflated its own RTT substantially.
+        assert classify_flow(_sig(20, 21, 46)) is FlowLimit.SELF_INDUCED
+
+    def test_unconstrained(self):
+        assert classify_flow(_sig(20, 21, 23)) is FlowLimit.UNCONSTRAINED
+
+    def test_small_absolute_floor_not_external(self):
+        # 40% relative but only 4 ms absolute: transient noise, not a
+        # standing queue.
+        assert classify_flow(_sig(10, 14, 15)) is not FlowLimit.EXTERNAL_CONGESTION
+
+    def test_threshold_parameters(self):
+        sig = _sig(20, 30, 32)  # 50% floor elevation, 6.7% self inflation
+        assert classify_flow(sig, floor_threshold=0.6) is FlowLimit.UNCONSTRAINED
+        assert classify_flow(sig, floor_threshold=0.6, inflation_threshold=0.05) is (
+            FlowLimit.SELF_INDUCED
+        )
+        assert classify_flow(sig, floor_threshold=0.4) is FlowLimit.EXTERNAL_CONGESTION
+
+
+class TestDerivation:
+    def test_access_flow_gets_buffer(self):
+        sig = signature_from_observation(20.0, 21.0, "access")
+        assert sig.rtt_max_ms > sig.rtt_min_ms + 10
+
+    def test_interconnect_flow_small_self_buffer(self):
+        sig = signature_from_observation(20.0, 70.0, "interconnect")
+        assert sig.rtt_max_ms - sig.rtt_min_ms < 5
+
+
+class TestEndToEnd:
+    def test_model_produces_separable_signatures(self, small_study):
+        """Flows through the congested GTT-ATT link at peak must carry an
+        elevated floor; access-limited off-peak flows must not."""
+        from repro.platforms.campaign import CampaignConfig
+
+        result = small_study.run_campaign(
+            CampaignConfig(seed=21, days=7, total_tests=3000, orgs=("ATT",))
+        )
+        congested_ids = small_study.links.congested_link_ids()
+        external, clean = [], []
+        for record in result.ndt_records:
+            crossed_congested = any(
+                l in congested_ids
+                and small_study.links.params(l).utilization(record.local_hour) > 1.0
+                for l in record.gt_crossed_links
+            )
+            if crossed_congested:
+                external.append(record)
+            elif record.gt_bottleneck_kind == "access" and record.local_hour < 7:
+                clean.append(record)
+        if not external or not clean:
+            pytest.skip("campaign sample lacks one of the two classes")
+        mean_ext = sum(r.rtt_min_ms for r in external) / len(external)
+        mean_clean = sum(r.rtt_min_ms for r in clean) / len(clean)
+        assert mean_ext > mean_clean + 10

@@ -1,0 +1,71 @@
+"""Tests for the Mann-Whitney U implementation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.significance import mann_whitney_u
+
+
+class TestMannWhitney:
+    def test_clearly_smaller(self):
+        result = mann_whitney_u([1, 2, 3] * 10, [10, 11, 12] * 10)
+        assert result.p_value < 1e-6
+        assert result.significant()
+
+    def test_clearly_larger(self):
+        result = mann_whitney_u([10, 11, 12] * 10, [1, 2, 3] * 10)
+        assert result.p_value > 0.999
+        assert not result.significant()
+
+    def test_identical_distributions_not_significant(self):
+        a = [1, 2, 3, 4, 5] * 8
+        b = [1, 2, 3, 4, 5] * 8
+        result = mann_whitney_u(a, b)
+        assert 0.3 < result.p_value < 0.7
+
+    def test_ties_handled(self):
+        result = mann_whitney_u([1, 1, 1, 2], [2, 2, 3, 3])
+        assert 0 < result.p_value < 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+    def test_all_tied_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([5.0] * 5, [5.0] * 5)
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        a = [3.1, 4.5, 2.2, 8.0, 5.5, 1.1, 9.3, 4.4]
+        b = [7.2, 8.8, 6.1, 9.9, 10.4, 5.9, 12.0, 7.7]
+        ours = mann_whitney_u(a, b)
+        reference = scipy_stats.mannwhitneyu(
+            a, b, alternative="less", use_continuity=True, method="asymptotic"
+        )
+        assert ours.u_statistic == pytest.approx(reference.statistic)
+        assert ours.p_value == pytest.approx(reference.pvalue, rel=0.02)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=3, max_size=30),
+        st.lists(st.floats(min_value=0, max_value=100), min_size=3, max_size=30),
+    )
+    @settings(max_examples=60)
+    def test_p_value_in_unit_interval(self, a, b):
+        if len(set(a) | set(b)) < 2:
+            return  # degenerate all-tied case raises by design
+        result = mann_whitney_u(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=5, max_size=25))
+    @settings(max_examples=40)
+    def test_antisymmetry(self, values):
+        if len(set(values)) < 2:
+            return
+        shifted = [v + 50 for v in values]
+        low = mann_whitney_u(values, shifted)
+        high = mann_whitney_u(shifted, values)
+        assert low.p_value < high.p_value

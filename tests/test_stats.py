@@ -1,0 +1,123 @@
+"""Tests for hourly binning and bias metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.bias import bootstrap_mean_ci, hour_sample_imbalance, plan_variance_ratio
+from repro.stats.diurnal_bins import HourlySeries, bin_hourly
+
+
+class TestBinHourly:
+    def test_counts_preserved(self):
+        series = bin_hourly([(1.5, 10.0), (1.9, 20.0), (23.2, 5.0)])
+        assert series.bins[1].count == 2
+        assert series.bins[23].count == 1
+        assert series.total_count() == 3
+
+    def test_median_and_mean(self):
+        series = bin_hourly([(3.0, 10.0), (3.5, 20.0), (3.9, 90.0)])
+        assert series.bins[3].median == 20.0
+        assert series.bins[3].mean == pytest.approx(40.0)
+
+    def test_even_median(self):
+        series = bin_hourly([(5.0, 10.0), (5.5, 30.0)])
+        assert series.bins[5].median == 20.0
+
+    def test_empty_bin_is_nan(self):
+        series = bin_hourly([])
+        assert math.isnan(series.bins[0].median)
+        assert series.bins[0].count == 0
+
+    def test_hour_wraps(self):
+        series = bin_hourly([(25.0, 1.0)])
+        assert series.bins[1].count == 1
+
+    def test_std_zero_for_constant(self):
+        series = bin_hourly([(2.0, 7.0), (2.1, 7.0)])
+        assert series.bins[2].std == 0.0
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0, max_value=23.99),
+        st.floats(min_value=0, max_value=1000),
+    ), max_size=200))
+    @settings(max_examples=50)
+    def test_total_count_matches_input(self, samples):
+        assert bin_hourly(samples).total_count() == len(samples)
+
+    def test_series_requires_24_bins(self):
+        with pytest.raises(ValueError):
+            HourlySeries(bins=tuple())
+
+
+class TestPeakDrop:
+    def _series(self, offpeak_value, peak_value):
+        samples = []
+        for hour in (10, 11, 12, 13):
+            samples += [(hour + 0.5, offpeak_value)] * 5
+        for hour in (19, 20, 21, 22):
+            samples += [(hour + 0.5, peak_value)] * 5
+        return bin_hourly(samples)
+
+    def test_collapse_detected(self):
+        series = self._series(20.0, 0.5)
+        assert series.relative_peak_drop() == pytest.approx(0.975)
+
+    def test_no_drop(self):
+        series = self._series(20.0, 25.0)
+        assert series.relative_peak_drop() == 0.0
+
+    def test_nan_without_data(self):
+        assert math.isnan(bin_hourly([]).relative_peak_drop())
+
+
+class TestBiasMetrics:
+    def test_imbalance_zero_when_even(self):
+        assert hour_sample_imbalance([10] * 24) == 0.0
+
+    def test_imbalance_positive_when_skewed(self):
+        counts = [1] * 12 + [50] * 12
+        assert hour_sample_imbalance(counts) > 0.5
+
+    def test_imbalance_rejects_empty(self):
+        with pytest.raises(ValueError):
+            hour_sample_imbalance([])
+
+    def test_plan_variance_dominates(self):
+        plans = [10.0, 100.0] * 20
+        throughputs = [p * 0.9 for p in plans]  # plan fully explains spread
+        assert plan_variance_ratio(throughputs, plans) > 0.9
+
+    def test_plan_variance_irrelevant(self):
+        plans = [50.0] * 20
+        throughputs = [10.0, 40.0] * 10  # spread unrelated to plans
+        assert plan_variance_ratio(throughputs, plans) < 0.2
+
+    def test_plan_variance_needs_pairs(self):
+        with pytest.raises(ValueError):
+            plan_variance_ratio([1.0], [1.0])
+
+
+class TestBootstrap:
+    def test_constant_data_tight_ci(self):
+        low, high = bootstrap_mean_ci([5.0] * 30)
+        assert low == high == 5.0
+
+    def test_ci_contains_sample_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0] * 10
+        low, high = bootstrap_mean_ci(values, seed=3)
+        assert low <= 3.0 <= high
+
+    def test_deterministic(self):
+        values = list(range(20))
+        assert bootstrap_mean_ci(values) == bootstrap_mean_ci(values)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)

@@ -1,0 +1,99 @@
+"""Tests for service-plan stratification."""
+
+import math
+
+import pytest
+
+from repro.measurement.records import NDTRecord
+from repro.stats.stratification import estimate_plan_tiers, stratify
+
+
+def _record(test_id, client_ip, hour, mbps):
+    return NDTRecord(
+        test_id=test_id, timestamp_s=hour * 3600.0, local_hour=hour,
+        client_ip=client_ip, server_id=1, server_ip=1, server_asn=1,
+        server_city="atl", download_bps=mbps * 1e6, rtt_ms=20.0,
+        retx_rate=0.0, congestion_signals=0, gt_client_asn=2,
+        gt_client_org="X", gt_crossed_links=(), gt_bottleneck_link=None,
+        gt_bottleneck_kind="access",
+    )
+
+
+def _flat_corpus():
+    """Two tiers (20 and 100 Mbps), both achieving their plan all day."""
+    records = []
+    tid = 0
+    for client, plan in ((1, 20.0), (2, 100.0)):
+        for hour in list(range(9, 17)) + [19, 20, 21, 22]:
+            for _ in range(4):
+                tid += 1
+                records.append(_record(tid, client, hour + 0.5, plan))
+    return records
+
+
+class TestPlanEstimation:
+    def test_offpeak_max_used(self):
+        records = [
+            _record(1, 9, 10.0, 50.0),
+            _record(2, 9, 21.0, 5.0),  # congested at peak
+        ]
+        tiers = estimate_plan_tiers(records)
+        assert tiers[9] == pytest.approx(50e6)
+
+    def test_peak_only_client_falls_back(self):
+        records = [_record(1, 9, 21.0, 5.0)]
+        assert estimate_plan_tiers(records)[9] == pytest.approx(5e6)
+
+
+class TestStratify:
+    def test_flat_corpus_no_drop(self):
+        stratified = stratify(_flat_corpus())
+        assert stratified.utilization_drop() == pytest.approx(0.0, abs=1e-9)
+
+    def test_weights_sum_to_one(self):
+        stratified = stratify(_flat_corpus())
+        assert sum(stratified.stratum_weights.values()) == pytest.approx(1.0)
+
+    def test_real_path_effect_survives(self):
+        # Both tiers halve at peak: a genuine path effect.
+        records = []
+        tid = 0
+        for client, plan in ((1, 20.0), (2, 100.0)):
+            for hour in range(9, 17):
+                for _ in range(4):
+                    tid += 1
+                    records.append(_record(tid, client, hour + 0.5, plan))
+            for hour in (19, 20, 21, 22):
+                for _ in range(4):
+                    tid += 1
+                    records.append(_record(tid, client, hour + 0.5, plan / 2))
+        stratified = stratify(records)
+        assert stratified.utilization_drop() == pytest.approx(0.5, abs=0.05)
+
+    def test_sample_mix_bias_removed(self):
+        # Slow tier tests only in the evening, fast tier only at midday:
+        # the naive aggregate collapses, the stratified one must not.
+        from repro.core.congestion import diurnal_series
+
+        records = []
+        tid = 0
+        for hour in range(9, 17):
+            for _ in range(6):
+                tid += 1
+                records.append(_record(tid, 2, hour + 0.5, 100.0))  # fast
+        for hour in (19, 20, 21, 22):
+            for _ in range(6):
+                tid += 1
+                records.append(_record(tid, 1, hour + 0.5, 20.0))  # slow
+        # Give each client one off-peak sample so tiers are estimable.
+        records.append(_record(tid + 1, 1, 10.5, 20.0))
+        records.append(_record(tid + 2, 2, 10.5, 100.0))
+
+        naive = diurnal_series(records).relative_peak_drop()
+        stratified = stratify(records).utilization_drop()
+        assert naive > 0.5
+        assert stratified < 0.15
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stratify([])

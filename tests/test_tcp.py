@@ -1,0 +1,94 @@
+"""Tests for the TCP throughput / RTT model."""
+
+import pytest
+
+from repro.net.link import ProvisioningConfig, CongestionDirective, provision_links
+from repro.net.tcp import TCPModel
+from repro.routing.bgp import BGPRouting
+from repro.routing.forwarding import Forwarder
+from repro.util.units import MBPS
+
+
+@pytest.fixture(scope="module")
+def world(tiny_internet):
+    links = provision_links(
+        tiny_internet,
+        ProvisioningConfig(seed=7, directives=(CongestionDirective("GTT", "ATT", peak_load=1.35),)),
+    )
+    forwarder = Forwarder(tiny_internet, BGPRouting(tiny_internet.graph))
+    return tiny_internet, links, forwarder, TCPModel(links, seed=7)
+
+
+class TestMathis:
+    def test_decreasing_in_loss(self, world):
+        _net, _links, _fwd, tcp = world
+        assert tcp.mathis_ceiling_bps(30, 1e-4) > tcp.mathis_ceiling_bps(30, 1e-2)
+
+    def test_decreasing_in_rtt(self, world):
+        _net, _links, _fwd, tcp = world
+        assert tcp.mathis_ceiling_bps(10, 1e-4) > tcp.mathis_ceiling_bps(100, 1e-4)
+
+    def test_loss_floor_applied(self, world):
+        _net, _links, _fwd, tcp = world
+        assert tcp.mathis_ceiling_bps(30, 0.0) == tcp.mathis_ceiling_bps(30, 1e-9)
+
+
+class TestObserve:
+    def _path(self, world, dst_name="ATT"):
+        net, _links, fwd, _tcp = world
+        gtt = net.as_named("GTT")
+        dst = net.as_named(dst_name)
+        return fwd.route_flow(gtt.asn, "atl", dst.asn, dst.home_cities[0], flow_key="t")
+
+    def test_access_limited_off_peak(self, world):
+        net, _links, _fwd, tcp = world
+        path = self._path(world)
+        obs = tcp.observe(path, hour=4.0, access_rate_bps=20 * MBPS, with_noise=False)
+        assert obs.bottleneck_kind == "access"
+        assert obs.throughput_bps == pytest.approx(20 * MBPS, rel=0.01)
+
+    def test_congested_peak_collapses(self, world):
+        _net, _links, _fwd, tcp = world
+        path = self._path(world)
+        peak = tcp.observe(path, hour=21.0, access_rate_bps=50 * MBPS, with_noise=False)
+        off = tcp.observe(path, hour=4.0, access_rate_bps=50 * MBPS, with_noise=False)
+        assert peak.throughput_bps < 0.2 * off.throughput_bps
+        assert peak.rtt_ms > off.rtt_ms  # queueing delay at the hot link
+
+    def test_home_factor_degrades(self, world):
+        _net, _links, _fwd, tcp = world
+        path = self._path(world, "Comcast")
+        good = tcp.observe(path, 4.0, 50 * MBPS, home_factor=1.0, with_noise=False)
+        bad = tcp.observe(path, 4.0, 50 * MBPS, home_factor=0.4, with_noise=False)
+        assert bad.throughput_bps < good.throughput_bps
+
+    def test_access_loss_hurts(self, world):
+        _net, _links, _fwd, tcp = world
+        path = self._path(world, "Comcast")
+        clean = tcp.observe(path, 4.0, 200 * MBPS, with_noise=False)
+        lossy = tcp.observe(path, 4.0, 200 * MBPS, access_loss=0.02, with_noise=False)
+        assert lossy.throughput_bps < clean.throughput_bps
+        assert lossy.retx_rate > clean.retx_rate
+
+    def test_noise_respects_plan_cap(self, world):
+        _net, _links, _fwd, tcp = world
+        path = self._path(world, "Comcast")
+        for _ in range(50):
+            obs = tcp.observe(path, 4.0, 30 * MBPS)
+            assert obs.throughput_bps <= 30 * MBPS + 1
+
+    def test_throughput_floor(self, world):
+        _net, _links, _fwd, tcp = world
+        path = self._path(world)
+        obs = tcp.observe(path, 21.0, 0.1 * MBPS, home_factor=0.05, with_noise=False)
+        assert obs.throughput_bps >= 10_000.0
+
+    def test_base_rtt_scales_with_geography(self, world):
+        net, _links, fwd, tcp = world
+        gtt = net.as_named("GTT")
+        comcast = net.as_named("Comcast")
+        near_city = comcast.home_cities[0]
+        near = fwd.route_flow(gtt.asn, near_city, comcast.asn, near_city, flow_key="n")
+        far = fwd.route_flow(gtt.asn, "sea", comcast.asn, near_city, flow_key="f")
+        if near is not None and far is not None and near_city != "sea":
+            assert tcp.base_rtt_ms(far) >= tcp.base_rtt_ms(near)

@@ -1,0 +1,132 @@
+"""Tests for binary and simplified AS-level tomography."""
+
+from repro.core.tomography import (
+    binary_tomography,
+    score_as_localization,
+    simplified_as_tomography,
+)
+from repro.measurement.records import NDTRecord
+
+
+class TestBinaryTomography:
+    def test_single_bad_link_identified(self):
+        observations = [
+            ((1, 2, 3), True),
+            ((1, 4), False),  # exonerates 1
+            ((5, 2), False),  # exonerates 2
+        ]
+        assert binary_tomography(observations) == {3}
+
+    def test_good_paths_exonerate(self):
+        observations = [((1, 2), True), ((1,), False), ((2,), False)]
+        # Both candidates exonerated: the bad path is unexplainable.
+        assert binary_tomography(observations) == set()
+
+    def test_shared_link_preferred(self):
+        # Greedy picks the link covering the most bad paths.
+        observations = [
+            ((1, 9), True),
+            ((2, 9), True),
+            ((3, 9), True),
+        ]
+        assert binary_tomography(observations) == {9}
+
+    def test_multiple_bad_links(self):
+        observations = [
+            ((1, 2), True),
+            ((3, 4), True),
+            ((2,), False),
+            ((4,), False),
+        ]
+        assert binary_tomography(observations) == {1, 3}
+
+    def test_no_observations(self):
+        assert binary_tomography([]) == set()
+
+    def test_all_good(self):
+        assert binary_tomography([((1, 2), False)]) == set()
+
+
+def _record(test_id, hour, mbps, org="ISP", server_asn=1):
+    return NDTRecord(
+        test_id=test_id, timestamp_s=hour * 3600.0, local_hour=hour,
+        client_ip=50, server_id=1, server_ip=1, server_asn=server_asn,
+        server_city="atl", download_bps=mbps * 1e6, rtt_ms=20.0,
+        retx_rate=0.0, congestion_signals=0, gt_client_asn=2,
+        gt_client_org=org, gt_crossed_links=(), gt_bottleneck_link=None,
+        gt_bottleneck_kind="access",
+    )
+
+
+def _pair_records(offpeak_mbps, peak_mbps, n=20):
+    records = []
+    tid = 0
+    for hour in (10, 11, 12, 13):
+        for _ in range(n):
+            tid += 1
+            records.append(_record(tid, hour + 0.5, offpeak_mbps))
+    for hour in (19, 20, 21, 22):
+        for _ in range(n):
+            tid += 1
+            records.append(_record(tid, hour + 0.5, peak_mbps))
+    return records
+
+
+class TestSimplifiedASTomography:
+    def test_congested_pair_with_clean_alternate(self):
+        tests = {
+            ("S1", "A"): _pair_records(20.0, 1.0),
+            ("S2", "A"): _pair_records(20.0, 19.0),
+        }
+        result = simplified_as_tomography(tests, threshold=0.5)
+        assert result.inferred_congested_pairs() == [("S1", "A")]
+
+    def test_no_alternate_no_inference(self):
+        # Without a clean second source, the access link cannot be ruled
+        # out, so the method must not blame the interdomain link.
+        tests = {("S1", "A"): _pair_records(20.0, 1.0)}
+        result = simplified_as_tomography(tests, threshold=0.5)
+        assert result.inferred_congested_pairs() == []
+        assert result.pairs[0].verdict.congested
+
+    def test_all_sources_congested_suggests_access(self):
+        tests = {
+            ("S1", "A"): _pair_records(20.0, 1.0),
+            ("S2", "A"): _pair_records(20.0, 1.5),
+        }
+        result = simplified_as_tomography(tests, threshold=0.5)
+        assert result.inferred_congested_pairs() == []
+
+    def test_min_samples_guard(self):
+        tests = {
+            ("S1", "A"): _pair_records(20.0, 1.0, n=2),
+            ("S2", "A"): _pair_records(20.0, 19.0, n=2),
+        }
+        result = simplified_as_tomography(tests, threshold=0.5, min_samples=100)
+        assert result.inferred_congested_pairs() == []
+
+
+class TestScoring:
+    def _result(self, inferred):
+        tests = {}
+        for pair in inferred:
+            tests[pair] = _pair_records(20.0, 1.0)
+            tests[("CLEAN", pair[1])] = _pair_records(20.0, 19.0)
+        return simplified_as_tomography(tests, threshold=0.5)
+
+    def test_perfect(self):
+        result = self._result([("S1", "A")])
+        score = score_as_localization(result, {("S1", "A")}, set())
+        assert score.precision == 1.0 and score.recall == 1.0
+
+    def test_mislocalization_tracked(self):
+        result = self._result([("S1", "A")])
+        score = score_as_localization(result, set(), {("S1", "A")})
+        assert score.mislocalized_pairs == (("S1", "A"),)
+        assert score.precision == 0.0
+
+    def test_missed(self):
+        result = self._result([])
+        score = score_as_localization(result, {("S9", "B")}, set())
+        assert score.missed_pairs == (("S9", "B"),)
+        assert score.recall == 0.0

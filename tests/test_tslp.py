@@ -1,0 +1,82 @@
+"""Tests for TSLP probing and level-shift detection."""
+
+import pytest
+
+from repro.measurement.tslp import TSLPProber, TSLPSample, TSLPSeries, detect_level_shift
+from repro.net.link import CongestionDirective, ProvisioningConfig, provision_links
+from repro.routing.bgp import BGPRouting
+from repro.routing.forwarding import Forwarder
+
+
+@pytest.fixture(scope="module")
+def tslp_world(tiny_internet):
+    links = provision_links(
+        tiny_internet,
+        ProvisioningConfig(
+            seed=7, directives=(CongestionDirective("GTT", "ATT", peak_load=1.35),)
+        ),
+    )
+    forwarder = Forwarder(tiny_internet, BGPRouting(tiny_internet.graph))
+    prober = TSLPProber(tiny_internet, links, forwarder, seed=7)
+    return tiny_internet, links, prober
+
+
+def _links_between(internet, a_name, b_name):
+    a = internet.as_named(a_name)
+    b = internet.as_named(b_name)
+    return internet.fabric.links_between(a.asn, b.asn)
+
+
+class TestProbing:
+    def test_sample_structure(self, tslp_world):
+        internet, _links, prober = tslp_world
+        link = _links_between(internet, "GTT", "ATT")[0]
+        series = prober.probe_day(7922, "bos", link, rounds_per_hour=2)
+        assert len(series.samples) == 48
+        assert all(s.far_rtt_ms >= s.near_rtt_ms for s in series.samples)
+
+    def test_congested_link_detected(self, tslp_world):
+        internet, links, prober = tslp_world
+        congested = [
+            l for l in _links_between(internet, "GTT", "ATT")
+            if links.params(l.link_id).congested
+        ]
+        assert congested
+        series = prober.probe_day(7922, "bos", congested[0])
+        verdict = detect_level_shift(series)
+        assert verdict.congested
+        assert verdict.shift_ms > 10
+
+    def test_healthy_link_not_detected(self, tslp_world):
+        internet, links, prober = tslp_world
+        healthy = [
+            l for l in _links_between(internet, "Level3", "Comcast")
+            if not links.params(l.link_id).congested
+        ]
+        assert healthy
+        series = prober.probe_day(7922, "bos", healthy[0])
+        verdict = detect_level_shift(series)
+        assert not verdict.congested
+
+
+class TestLevelShift:
+    def _series(self, off_diff, peak_diff):
+        samples = []
+        for hour in (3, 4, 5, 6):
+            samples.append(TSLPSample(hour=hour + 0.5, near_rtt_ms=10, far_rtt_ms=10 + off_diff))
+        for hour in (19, 20, 21, 22):
+            samples.append(TSLPSample(hour=hour + 0.5, near_rtt_ms=10, far_rtt_ms=10 + peak_diff))
+        return TSLPSeries(link_id=1, samples=tuple(samples))
+
+    def test_shift_detected(self):
+        verdict = detect_level_shift(self._series(0.5, 40.0))
+        assert verdict.congested and verdict.shift_ms == pytest.approx(39.5)
+
+    def test_no_shift(self):
+        verdict = detect_level_shift(self._series(0.5, 2.0))
+        assert not verdict.congested
+
+    def test_missing_window_raises(self):
+        series = TSLPSeries(link_id=1, samples=(TSLPSample(1.0, 10, 11),))
+        with pytest.raises(ValueError):
+            series.window_min_differential((19, 20))

@@ -1,0 +1,77 @@
+"""Unit and property tests for IPv4 helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.ip import (
+    format_ip,
+    ip_in_prefix,
+    parse_ip,
+    prefix_netmask,
+    prefix_size,
+    prefix_str,
+)
+
+
+class TestParseFormat:
+    def test_parse_known(self):
+        assert parse_ip("10.0.0.1") == (10 << 24) + 1
+
+    def test_format_known(self):
+        assert format_ip((192 << 24) + (168 << 16) + 5) == "192.168.0.5"
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ValueError):
+            parse_ip("10.0.0")
+
+    def test_parse_rejects_large_octet(self):
+        with pytest.raises(ValueError):
+            parse_ip("10.0.0.256")
+
+    def test_format_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_ip(-1)
+
+    def test_format_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            format_ip(1 << 32)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_roundtrip(self, value):
+        assert parse_ip(format_ip(value)) == value
+
+
+class TestPrefixHelpers:
+    def test_netmask_24(self):
+        assert format_ip(prefix_netmask(24)) == "255.255.255.0"
+
+    def test_netmask_0(self):
+        assert prefix_netmask(0) == 0
+
+    def test_netmask_32(self):
+        assert prefix_netmask(32) == (1 << 32) - 1
+
+    def test_netmask_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            prefix_netmask(33)
+
+    def test_size(self):
+        assert prefix_size(24) == 256
+        assert prefix_size(32) == 1
+        assert prefix_size(0) == 1 << 32
+
+    def test_in_prefix(self):
+        base = parse_ip("10.1.2.0")
+        assert ip_in_prefix(parse_ip("10.1.2.200"), base, 24)
+        assert not ip_in_prefix(parse_ip("10.1.3.1"), base, 24)
+
+    def test_prefix_str(self):
+        assert prefix_str(parse_ip("10.0.0.0"), 8) == "10.0.0.0/8"
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_base_always_in_own_prefix(self, base, length):
+        assert ip_in_prefix(base, base, length)
