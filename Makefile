@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench experiments clean-cache
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/run_bench.py
+
+experiments:
+	$(PYTHON) -m repro.experiments all
+
+clean-cache:
+	$(PYTHON) -c "from repro.util import artifact_cache; print(artifact_cache.clear(), 'artifacts removed')"

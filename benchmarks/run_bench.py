@@ -1,0 +1,174 @@
+"""Measure the fast-path speedups and write ``BENCH_PR1.json``.
+
+Times the heavy steps the caching/parallelism work targets — study
+construction, the NDT campaign replay on the benchmark configuration,
+the per-VP coverage sweep, and full-scale fig2 (serial and ``--jobs 4``)
+— then records medians, totals, and speedups against the pre-optimization
+baselines measured on the same machine.
+
+The on-disk artifact cache is disabled for the compute benchmarks so the
+numbers measure computation, not disk reads; a separate cold/warm pair
+demonstrates what the artifact cache itself buys.
+
+Run via ``make bench`` or::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.coverage import collect_coverage_reports  # noqa: E402
+from repro.core.pipeline import build_study, clear_study_cache  # noqa: E402
+from repro.platforms.campaign import run_ndt_campaign  # noqa: E402
+from repro.util import artifact_cache  # noqa: E402
+
+from conftest import BENCH_CAMPAIGN, BENCH_STUDY_CONFIG  # noqa: E402
+
+#: Wall-clock seconds for the same steps at the seed commit (e9bf91f),
+#: measured on this machine before the fast-path work landed.
+SEED_BASELINES_S = {
+    "campaign_bench": 5.2,
+    "build_study_bench": 7.6,
+    "fig2_full_serial": 45.0,
+}
+
+OUTPUT = REPO_ROOT / "BENCH_PR1.json"
+
+
+def _timed(func, repeats: int) -> list[float]:
+    runs = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        runs.append(round(time.perf_counter() - start, 3))
+    return runs
+
+
+def bench_build_study(repeats: int = 3) -> list[float]:
+    def build():
+        clear_study_cache()
+        build_study(BENCH_STUDY_CONFIG)
+
+    return _timed(build, repeats)
+
+
+def bench_campaign(repeats: int = 3) -> list[float]:
+    study = build_study(BENCH_STUDY_CONFIG)
+
+    def campaign():
+        study._run_campaign_uncached(BENCH_CAMPAIGN)
+
+    return _timed(campaign, repeats)
+
+
+def bench_coverage(jobs: int, repeats: int = 2) -> list[float]:
+    study = build_study(BENCH_STUDY_CONFIG)
+
+    def coverage():
+        collect_coverage_reports(study, alexa_count=150, jobs=jobs)
+
+    return _timed(coverage, repeats)
+
+
+def bench_fig2_subprocess(jobs: int | None) -> list[float]:
+    """One full-scale fig2 run in a fresh interpreter (cold everything)."""
+    command = [sys.executable, "-m", "repro.experiments", "fig2"]
+    if jobs is not None:
+        command += ["--jobs", str(jobs)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_CACHE"] = "0"
+    start = time.perf_counter()
+    subprocess.run(command, check=True, capture_output=True, env=env, cwd=REPO_ROOT)
+    return [round(time.perf_counter() - start, 3)]
+
+
+def bench_artifact_cache() -> dict[str, float]:
+    """Cold compute-and-store vs warm load of the benchmark campaign."""
+    study = build_study(BENCH_STUDY_CONFIG)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        artifact_cache.set_enabled(True)
+        try:
+            start = time.perf_counter()
+            study.run_campaign(BENCH_CAMPAIGN)
+            cold = time.perf_counter() - start
+            start = time.perf_counter()
+            study.run_campaign(BENCH_CAMPAIGN)
+            warm = time.perf_counter() - start
+        finally:
+            artifact_cache.set_enabled(None)
+            os.environ.pop("REPRO_CACHE_DIR", None)
+    return {"cold_s": round(cold, 3), "warm_s": round(warm, 3)}
+
+
+def main() -> int:
+    artifact_cache.set_enabled(False)
+    results: dict[str, dict] = {}
+
+    suite_start = time.perf_counter()
+    for name, runs in (
+        ("build_study_bench", bench_build_study()),
+        ("campaign_bench", bench_campaign()),
+        ("coverage_bench_serial", bench_coverage(jobs=1)),
+        ("coverage_bench_jobs4", bench_coverage(jobs=4)),
+        ("fig2_full_serial", bench_fig2_subprocess(jobs=None)),
+        ("fig2_full_jobs4", bench_fig2_subprocess(jobs=4)),
+    ):
+        median = round(statistics.median(runs), 3)
+        results[name] = {"runs_s": runs, "median_s": median}
+        print(f"{name}: median {median}s over {len(runs)} run(s) {runs}")
+
+    artifact_cache.set_enabled(None)
+    cache_pair = bench_artifact_cache()
+    results["artifact_cache_campaign"] = cache_pair
+    print(f"artifact_cache_campaign: cold {cache_pair['cold_s']}s warm {cache_pair['warm_s']}s")
+
+    speedups = {
+        name: round(baseline / results[name]["median_s"], 2)
+        for name, baseline in SEED_BASELINES_S.items()
+        if results.get(name, {}).get("median_s")
+    }
+    speedups["fig2_full_jobs4_vs_seed_serial"] = round(
+        SEED_BASELINES_S["fig2_full_serial"] / results["fig2_full_jobs4"]["median_s"], 2
+    )
+
+    report = {
+        "machine": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+        "study_config": repr(BENCH_STUDY_CONFIG),
+        "campaign_config": repr(BENCH_CAMPAIGN),
+        "seed_baselines_s": SEED_BASELINES_S,
+        "benchmarks": results,
+        "totals": {
+            "suite_wall_s": round(time.perf_counter() - suite_start, 3),
+            "study_build_median_s": results["build_study_bench"]["median_s"],
+            "campaign_median_s": results["campaign_bench"]["median_s"],
+        },
+        "speedups_vs_seed": speedups,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    for name, factor in speedups.items():
+        print(f"  {name}: {factor}x vs seed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

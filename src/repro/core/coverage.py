@@ -18,13 +18,15 @@ from collections import Counter
 from dataclasses import dataclass
 
 from repro.inference.alias import AliasResolver
-from repro.inference.bdrmap import _first_departure, org_relationship
+from repro.inference.bdrmap import _first_departure, collect_bdrmap_traces, org_relationship
 from repro.inference.borders import OriginOracle
 from repro.inference.mapit import MapIt, MapItConfig
 from repro.measurement.records import TracerouteRecord
+from repro.measurement.traceroute import TracerouteConfig, TracerouteEngine
 from repro.platforms.ark import ArkVP
 from repro.topology.asgraph import Relationship
 from repro.topology.internet import Internet
+from repro.util.parallel import parallel_map
 
 #: Border identity at the router level: (VP-side alias group, neighbor org).
 RouterBorder = tuple[int, int]
@@ -152,6 +154,74 @@ def coverage_analysis(
         reachable=reachable,
         relationships=relationships,
     )
+
+
+def vp_coverage_report(
+    study,
+    vp: ArkVP,
+    alexa_count: int = 500,
+    max_prefixes: int | None = None,
+) -> CoverageReport:
+    """The complete §5 pipeline for one VP as a self-contained unit of work.
+
+    The VP gets its own traceroute engine on a derived stream
+    (``coverage:<ark code>``), so its trace artifacts are a function of
+    the VP alone — not of how many traces other VPs ran first. That is
+    the invariant that lets :func:`collect_coverage_reports` fan VPs out
+    across processes and still merge byte-identical results.
+    """
+    internet = study.internet
+    engine = TracerouteEngine(
+        internet,
+        study.forwarder,
+        TracerouteConfig(seed=study.config.seed),
+        stream=f"coverage:{vp.code}",
+    )
+    bdrmap_traces = collect_bdrmap_traces(internet, vp, engine, max_prefixes=max_prefixes)
+    mlab_targets = [(s.ip, s.asn, s.city) for s in study.mlab.servers()]
+    speedtest_targets = [(s.ip, s.asn, s.city) for s in study.speedtest.servers()]
+    alexa_targets = [
+        (t.ip, t.asn, t.city) for t in study.alexa_targets(count=alexa_count)
+    ]
+    platform_traces = {
+        "mlab": collect_target_traces(internet, vp, engine, mlab_targets, "mlab"),
+        "speedtest": collect_target_traces(
+            internet, vp, engine, speedtest_targets, "speedtest"
+        ),
+        "alexa": collect_target_traces(internet, vp, engine, alexa_targets, "alexa"),
+    }
+    return coverage_analysis(
+        internet, vp, bdrmap_traces, platform_traces, study.oracle
+    )
+
+
+def _coverage_unit(args: tuple) -> CoverageReport:
+    """Pool worker: rebuild (or fork-inherit) the study, run one VP."""
+    from repro.core.pipeline import build_study
+
+    study_config, vp_index, alexa_count, max_prefixes = args
+    study = build_study(study_config)
+    vp = study.ark_vps()[vp_index]
+    return vp_coverage_report(study, vp, alexa_count=alexa_count, max_prefixes=max_prefixes)
+
+
+def collect_coverage_reports(
+    study,
+    alexa_count: int = 500,
+    max_prefixes: int | None = None,
+    jobs: int | None = None,
+) -> dict[str, CoverageReport]:
+    """Per-VP coverage reports for every Ark VP, optionally fanned out.
+
+    Results are keyed by VP label in Table 3 row order whatever ``jobs``
+    is; parallel and serial runs return equal reports record-for-record.
+    """
+    vps = study.ark_vps()
+    units = [
+        (study.config, index, alexa_count, max_prefixes) for index in range(len(vps))
+    ]
+    reports = parallel_map(_coverage_unit, units, jobs=jobs)
+    return {vp.label: report for vp, report in zip(vps, reports)}
 
 
 def collect_target_traces(

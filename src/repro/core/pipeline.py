@@ -25,6 +25,7 @@ from repro.routing.bgp import BGPRouting
 from repro.routing.forwarding import Forwarder
 from repro.topology.generator import InternetConfig, generate_internet
 from repro.topology.internet import Internet
+from repro.util import artifact_cache
 
 #: The congestion scenario of the 2014/2015 M-Lab reports: AT&T's GTT
 #: interconnects saturate at peak (the Figure 5(a) case); Verizon↔TATA and
@@ -74,8 +75,17 @@ class Study:
 
         The campaign gets its own noise and traceroute-artifact streams
         derived from its seed, so identical campaign configs replay
-        identically regardless of what ran earlier on this study.
+        identically regardless of what ran earlier on this study — which
+        is also what makes the result safe to persist in the on-disk
+        artifact cache keyed on (study config, campaign config).
         """
+        return artifact_cache.fetch(
+            "campaign",
+            (self.config, campaign),
+            lambda: self._run_campaign_uncached(campaign),
+        )
+
+    def _run_campaign_uncached(self, campaign: CampaignConfig) -> CampaignResult:
         engine = TracerouteEngine(
             self.internet,
             self.forwarder,

@@ -1,35 +1,134 @@
 """Run experiments from the command line.
 
-    python -m repro.experiments            # list experiment ids
-    python -m repro.experiments fig1 fig5  # run selected experiments
-    python -m repro.experiments all        # run everything
+    python -m repro.experiments                    # list experiment ids
+    python -m repro.experiments fig1 fig5          # run selected experiments
+    python -m repro.experiments all                # run everything
+    python -m repro.experiments fig2 --jobs 4      # parallel per-VP fan-out
+    python -m repro.experiments all --jobs 4       # fan experiments out too
+    python -m repro.experiments fig1 --profile     # cProfile top-10 per id
+
+``--jobs N`` raises the session's parallelism: per-VP loops fan out
+inside each experiment, and ``all`` additionally distributes whole
+experiments across the pool. Output is printed in registry order and is
+identical to a serial run. ``--profile`` wraps each experiment in
+cProfile and prints its top-10 functions by cumulative time (forces
+serial execution so the numbers mean something).
 """
 
 from __future__ import annotations
 
+import cProfile
+import io
+import pstats
 import sys
 import time
 
 from repro.experiments import EXPERIMENTS
+from repro.experiments.base import ExperimentResult
+from repro.util.parallel import parallel_map, set_default_jobs
+
+
+def _run_experiment(experiment_id: str) -> ExperimentResult:
+    """Pool worker: one experiment end-to-end (module-level for pickling)."""
+    return EXPERIMENTS[experiment_id]()
+
+
+def _parse_args(argv: list[str]) -> tuple[list[str], int, bool] | None:
+    ids: list[str] = []
+    jobs = 1
+    profile = False
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--jobs":
+            if index + 1 >= len(argv):
+                print("--jobs requires a value", file=sys.stderr)
+                return None
+            try:
+                jobs = int(argv[index + 1])
+            except ValueError:
+                print(f"--jobs requires an integer, got {argv[index + 1]!r}", file=sys.stderr)
+                return None
+            index += 2
+        elif arg.startswith("--jobs="):
+            try:
+                jobs = int(arg.split("=", 1)[1])
+            except ValueError:
+                print(f"--jobs requires an integer, got {arg!r}", file=sys.stderr)
+                return None
+            index += 1
+        elif arg == "--profile":
+            profile = True
+            index += 1
+        elif arg.startswith("--"):
+            print(f"unknown option {arg!r}", file=sys.stderr)
+            return None
+        else:
+            ids.append(arg)
+            index += 1
+    return ids, max(1, jobs), profile
+
+
+def _print_result(experiment_id: str, result: ExperimentResult, elapsed_s: float) -> None:
+    print(result.to_text())
+    print(f"  [{experiment_id} in {elapsed_s:.1f}s]\n")
+
+
+def _run_profiled(experiment_id: str) -> tuple[ExperimentResult, float]:
+    profiler = cProfile.Profile()
+    start = time.time()
+    profiler.enable()
+    result = EXPERIMENTS[experiment_id]()
+    profiler.disable()
+    elapsed = time.time() - start
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(10)
+    print(f"--- profile: {experiment_id} (top 10 by cumulative time) ---")
+    print(stream.getvalue())
+    return result, elapsed
 
 
 def main(argv: list[str]) -> int:
-    if not argv:
+    parsed = _parse_args(argv)
+    if parsed is None:
+        return 2
+    ids, jobs, profile = parsed
+    if not ids:
         print("available experiments:")
         for experiment_id in EXPERIMENTS:
             print(f"  {experiment_id}")
-        print("usage: python -m repro.experiments <id>... | all")
+        print("usage: python -m repro.experiments <id>... | all [--jobs N] [--profile]")
         return 0
-    ids = list(EXPERIMENTS) if argv == ["all"] else argv
+    run_all = ids == ["all"]
+    if run_all:
+        ids = list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    for experiment_id in ids:
+
+    set_default_jobs(jobs)
+    suite_start = time.time()
+    if profile:
+        for experiment_id in ids:
+            result, elapsed = _run_profiled(experiment_id)
+            _print_result(experiment_id, result, elapsed)
+    elif run_all and jobs > 1:
+        # Fan whole experiments out; each worker runs its experiment
+        # serially (nested fan-out degrades to serial inside workers).
+        # Results print in registry order — identical text to jobs=1.
         start = time.time()
-        result = EXPERIMENTS[experiment_id]()
-        print(result.to_text())
-        print(f"  [{experiment_id} in {time.time() - start:.1f}s]\n")
+        results = parallel_map(_run_experiment, ids, jobs=jobs)
+        elapsed = time.time() - start
+        for experiment_id, result in zip(ids, results):
+            _print_result(experiment_id, result, elapsed / len(ids))
+    else:
+        for experiment_id in ids:
+            start = time.time()
+            result = EXPERIMENTS[experiment_id]()
+            _print_result(experiment_id, result, time.time() - start)
+    if run_all:
+        print(f"== {len(ids)} experiments in {time.time() - suite_start:.1f}s total ==")
     return 0
 
 

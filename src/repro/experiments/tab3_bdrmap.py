@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from repro.core.pipeline import Study, build_study
 from repro.experiments.base import ExperimentResult
-from repro.inference.alias import AliasResolver
-from repro.inference.bdrmap import collect_bdrmap_traces, run_bdrmap
+from repro.inference.bdrmap import bdrmap_all_vps
 from repro.topology.asgraph import Relationship
 
 #: Paper's AS-level ALL-border counts, for the shape comparison note.
@@ -29,13 +28,10 @@ PAPER_AS_BORDERS = {
 def run(study: Study | None = None) -> ExperimentResult:
     if study is None:
         study = build_study()
-    resolver = AliasResolver(study.internet, seed=study.config.seed)
 
     rows = []
     ordering: dict[str, int] = {}
-    for vp in study.ark_vps():
-        traces = collect_bdrmap_traces(study.internet, vp, study.traceroute_engine)
-        result = run_bdrmap(study.internet, vp, traces, study.oracle, alias_resolver=resolver)
+    for vp, result in zip(study.ark_vps(), bdrmap_all_vps(study)):
         rows.append(
             [
                 vp.label,

@@ -23,10 +23,11 @@ from repro.inference.alias import AliasResolution, AliasResolver
 from repro.inference.borders import OriginOracle
 from repro.inference.mapit import MapIt, MapItConfig
 from repro.measurement.records import TracerouteRecord
-from repro.measurement.traceroute import TracerouteEngine
+from repro.measurement.traceroute import TracerouteConfig, TracerouteEngine
 from repro.platforms.ark import ArkVP
 from repro.topology.asgraph import Relationship
 from repro.topology.internet import Internet
+from repro.util.parallel import parallel_map
 
 #: Priority when sibling-pair relationships conflict: an org that sells
 #: transit to any sibling of the neighbor is recorded as its provider.
@@ -149,6 +150,52 @@ def run_bdrmap(
         for (group, neighbor), count in sorted(crossings.items())
     ]
     return BdrmapResult(vp=vp, borders=borders, traces_used=len(traces))
+
+
+def run_bdrmap_for_vp(
+    study,
+    vp: ArkVP,
+    max_prefixes: int | None = None,
+) -> BdrmapResult:
+    """Collection + analysis for one VP as a self-contained unit of work.
+
+    The VP's traces come from a dedicated engine on a derived stream
+    (``bdrmap:<ark code>``) and its alias resolution from a fresh
+    seed-keyed resolver, so the result is a pure function of
+    (study config, VP) — the invariant the parallel fan-out needs.
+    """
+    engine = TracerouteEngine(
+        study.internet,
+        study.forwarder,
+        TracerouteConfig(seed=study.config.seed),
+        stream=f"bdrmap:{vp.code}",
+    )
+    traces = collect_bdrmap_traces(study.internet, vp, engine, max_prefixes=max_prefixes)
+    resolver = AliasResolver(study.internet, seed=study.config.seed)
+    return run_bdrmap(study.internet, vp, traces, study.oracle, alias_resolver=resolver)
+
+
+def _bdrmap_unit(args: tuple) -> BdrmapResult:
+    """Pool worker: rebuild (or fork-inherit) the study, run one VP."""
+    from repro.core.pipeline import build_study
+
+    study_config, vp_index, max_prefixes = args
+    study = build_study(study_config)
+    vp = study.ark_vps()[vp_index]
+    return run_bdrmap_for_vp(study, vp, max_prefixes=max_prefixes)
+
+
+def bdrmap_all_vps(
+    study,
+    max_prefixes: int | None = None,
+    jobs: int | None = None,
+) -> list[BdrmapResult]:
+    """Border inventories for every Ark VP, optionally fanned out across
+    processes. Results come back in Table 3 row order whatever ``jobs``
+    is, identical to the serial walk record-for-record."""
+    vps = study.ark_vps()
+    units = [(study.config, index, max_prefixes) for index in range(len(vps))]
+    return parallel_map(_bdrmap_unit, units, jobs=jobs)
 
 
 def org_relationship(

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from repro.measurement.records import TraceHop, TracerouteRecord
 from repro.routing.forwarding import Forwarder, ForwardingPath
-from repro.topology.geo import city_by_code, propagation_delay_ms
+from repro.topology.geo import propagation_delay_by_code_ms
 from repro.topology.internet import Internet
 from repro.util.rng import derive_random
 
@@ -55,11 +55,21 @@ class TracerouteEngine:
         internet: Internet,
         forwarder: Forwarder,
         config: TracerouteConfig | None = None,
+        stream: str | None = None,
     ) -> None:
+        """``stream`` derives an independent artifact-noise substream from
+        the same seed. Parallel per-VP fan-out gives each unit of work its
+        own stream label, so trace artifacts are a function of the unit —
+        not of how many traces other units ran first — while the silent-
+        router property (seed-keyed, stream-independent) stays one
+        consistent per-world fact."""
         self._internet = internet
         self._forwarder = forwarder
         self._config = config if config is not None else TracerouteConfig()
-        self._rng = derive_random(self._config.seed, "traceroute")
+        if stream is None:
+            self._rng = derive_random(self._config.seed, "traceroute")
+        else:
+            self._rng = derive_random(self._config.seed, "traceroute", stream)
         self._silent_routers: set[int] = set()
         self._silence_decided: set[int] = set()
         self._next_trace_id = 1
@@ -98,8 +108,8 @@ class TracerouteEngine:
         previous_city = path.hops[0].city_code if path.hops else dst_city
         for ttl, hop in enumerate(path.hops, start=1):
             if hop.city_code != previous_city:
-                cumulative_ms += 2.0 * propagation_delay_ms(
-                    city_by_code(previous_city), city_by_code(hop.city_code)
+                cumulative_ms += 2.0 * propagation_delay_by_code_ms(
+                    previous_city, hop.city_code
                 )
                 previous_city = hop.city_code
             reply_ip: int | None = hop.reply_ip
@@ -115,8 +125,8 @@ class TracerouteEngine:
         reached = self._rng.random() < config.destination_responds_prob
         if reached:
             if previous_city != dst_city:
-                cumulative_ms += 2.0 * propagation_delay_ms(
-                    city_by_code(previous_city), city_by_code(dst_city)
+                cumulative_ms += 2.0 * propagation_delay_by_code_ms(
+                    previous_city, dst_city
                 )
             hops.append(
                 TraceHop(

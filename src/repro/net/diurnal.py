@@ -59,6 +59,31 @@ class DiurnalProfile:
         """Minimum over the day (scanned at 1-minute resolution)."""
         return min(self.value(m / 60.0) for m in range(0, 24 * 60))
 
+    def exceeds(self, threshold: float) -> bool:
+        """Whether ``peak_value() >= threshold``, usually without the scan.
+
+        A coarse scan plus the profile's Lipschitz bound certifies most
+        profiles as clearly above or clearly below the threshold; only
+        borderline profiles (coarse peak within one slope-times-step of
+        it) pay for the full 1-minute scan. Always returns exactly
+        ``peak_value() >= threshold``.
+        """
+        step_hours = 0.5
+        coarse = max(
+            self.value(i * step_hours) for i in range(int(24.0 / step_hours))
+        )
+        if coarse >= threshold:
+            return True
+        # d/dh of exp(-0.5 (h/w)^2) is bounded by exp(-0.5)/w; the true
+        # 1-minute-grid peak is within half a coarse step times the slope.
+        slope = 0.6066 * (
+            abs(self.evening_amplitude) / self.evening_width_hours
+            + abs(self.day_amplitude) / self.day_width_hours
+        )
+        if coarse + slope * (step_hours / 2.0) < threshold:
+            return False
+        return self.peak_value() >= threshold
+
 
 #: Demand profile of crowdsourced speed-test launches. Users run tests when
 #: awake and mostly in the evening; the resulting sample-count imbalance

@@ -229,7 +229,7 @@ def provision_links(internet: Internet, config: ProvisioningConfig) -> LinkNetwo
                 evening_amplitude=rng.uniform(0.18, 0.42),
                 day_amplitude=rng.uniform(0.05, 0.18),
             )
-        congested = profile.peak_value() >= 0.995
+        congested = profile.exceeds(0.995)
         link_params = LinkParams(
             link_id=link.link_id,
             capacity_bps=capacity,

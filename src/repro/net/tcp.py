@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 from repro.net.link import BASE_LOSS, LinkNetwork
 from repro.routing.forwarding import ForwardingPath
-from repro.topology.geo import city_by_code, propagation_delay_ms
+from repro.topology.geo import propagation_delay_by_code_ms
 from repro.util.rng import derive_random
 
 
@@ -96,7 +96,7 @@ class TCPModel:
         one_way = 0.0
         for a, b in zip(cities, cities[1:]):
             if a != b:
-                one_way += propagation_delay_ms(city_by_code(a), city_by_code(b))
+                one_way += propagation_delay_by_code_ms(a, b)
         # Metro-area floor so same-city paths do not read as 0 ms.
         one_way += 0.3 * max(1, len(cities) - 1) * 0.2 + 0.4
         return 2.0 * one_way + self._config.host_overhead_ms

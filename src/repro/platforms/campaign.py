@@ -83,12 +83,14 @@ def run_ndt_campaign(
     platform.reset_daemons()
 
     orgs = list(config.orgs) if config.orgs is not None else population.orgs()
+    clients_by_org: dict[str, list[Client]] = {}
     weights = []
     for org in orgs:
         clients = population.clients_of(org)
         if not clients:
             raise ValueError(f"org {org!r} has no clients")
-        weights.append(sum(1.0 for _ in clients))
+        clients_by_org[org] = clients
+        weights.append(float(len(clients)))
 
     # --- schedule individual test events -------------------------------
     # Each session expands into per-test events up front; the whole event
@@ -99,7 +101,7 @@ def run_ndt_campaign(
     scheduled_tests = 0
     while scheduled_tests < config.total_tests:
         org = rng.choices(orgs, weights=weights, k=1)[0]
-        client = rng.choice(population.clients_of(org))
+        client = rng.choice(clients_by_org[org])
         n_tests = 1
         if rng.random() < config.burst_prob:
             n_tests = rng.randint(*config.burst_tests)

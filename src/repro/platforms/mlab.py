@@ -73,7 +73,16 @@ class MLabPlatform:
         self._rng = derive_random(self._config.seed, "mlab")
         self._servers: list[MLabServer] = []
         self._daemons: dict[str, _SiteDaemon] = {}
+        self._daemon_rng = derive_random(self._config.seed, "mlab", "daemon")
         self._build()
+        # Selection-path memos. The inventory is immutable after _build, so
+        # site membership, per-city site rankings, and per-org direct-host
+        # sets can all be computed once instead of per test.
+        self._servers_by_site: dict[str, list[MLabServer]] = {}
+        for server in self._servers:
+            self._servers_by_site.setdefault(server.site, []).append(server)
+        self._site_rank_cache: dict[str, list[tuple[float, str]]] = {}
+        self._direct_hosts_cache: dict[int, frozenset[int]] = {}
 
     @property
     def config(self) -> MLabConfig:
@@ -86,7 +95,7 @@ class MLabPlatform:
         return sorted({s.site for s in self._servers})
 
     def servers_at(self, site: str) -> list[MLabServer]:
-        return [s for s in self._servers if s.site == site]
+        return list(self._servers_by_site.get(site, ()))
 
     # ------------------------------------------------------------------
     # server selection
@@ -121,20 +130,7 @@ class MLabPlatform:
         exercises exactly one interdomain link. Falls back to plain
         nearest selection when no directly connected host exists.
         """
-        internet = self._internet
-        client_siblings = internet.orgs.siblings(client_asn)
-        direct_hosts: set[int] = set()
-        for server in self._servers:
-            if server.asn in direct_hosts:
-                continue
-            host_siblings = internet.orgs.siblings(server.asn)
-            for host in host_siblings:
-                if any(
-                    internet.graph.relationship(host, sibling) is not None
-                    for sibling in client_siblings
-                ):
-                    direct_hosts.add(server.asn)
-                    break
+        direct_hosts = self._direct_hosts(client_asn)
         for _distance, site in self._sites_by_distance(client_city):
             candidates = [s for s in self.servers_at(site) if s.asn in direct_hosts]
             if candidates:
@@ -156,22 +152,67 @@ class MLabPlatform:
         if now_s < daemon.busy_until_s:
             return None
         low, high = self._config.traceroute_duration_range_s
-        duration = self._rng.uniform(low, high)
+        duration = self._daemon_rng.uniform(low, high)
         daemon.busy_until_s = now_s + duration
         return daemon.busy_until_s
 
     def reset_daemons(self) -> None:
+        """Clear daemon busy state and restart the trace-duration stream.
+
+        Re-deriving the stream here makes every campaign's daemon
+        contention a pure function of the platform seed, not of how many
+        campaigns ran before it on this platform instance.
+        """
         self._daemons.clear()
+        self._daemon_rng = derive_random(self._config.seed, "mlab", "daemon")
 
     # ------------------------------------------------------------------
 
+    def sites_by_distance(self, client_city: str) -> list[tuple[float, str]]:
+        """(distance km, site) pairs nearest-first for one client metro.
+
+        Ranked once per city and memoized — server selection for every
+        subsequent test in that metro is a dict hit.
+        """
+        return list(self._sites_by_distance(client_city))
+
     def _sites_by_distance(self, client_city: str) -> list[tuple[float, str]]:
+        cached = self._site_rank_cache.get(client_city)
+        if cached is None:
+            cached = self._rank_sites(client_city)
+            self._site_rank_cache[client_city] = cached
+        return cached
+
+    def _rank_sites(self, client_city: str) -> list[tuple[float, str]]:
         origin = city_by_code(client_city)
         distances: dict[str, float] = {}
         for server in self._servers:
             if server.site not in distances:
                 distances[server.site] = geo_distance_km(origin, city_by_code(server.city))
         return sorted((d, s) for s, d in distances.items())
+
+    def _direct_hosts(self, client_asn: int) -> frozenset[int]:
+        """Host ASNs whose org directly interconnects the client's org."""
+        cached = self._direct_hosts_cache.get(client_asn)
+        if cached is not None:
+            return cached
+        internet = self._internet
+        client_siblings = internet.orgs.siblings(client_asn)
+        direct_hosts: set[int] = set()
+        for server in self._servers:
+            if server.asn in direct_hosts:
+                continue
+            host_siblings = internet.orgs.siblings(server.asn)
+            for host in host_siblings:
+                if any(
+                    internet.graph.relationship(host, sibling) is not None
+                    for sibling in client_siblings
+                ):
+                    direct_hosts.add(server.asn)
+                    break
+        result = frozenset(direct_hosts)
+        self._direct_hosts_cache[client_asn] = result
+        return result
 
     def _build(self) -> None:
         internet = self._internet

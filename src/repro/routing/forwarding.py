@@ -21,6 +21,7 @@ coordinates downstream in :mod:`repro.net`.
 from __future__ import annotations
 
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.routing.bgp import BGPRouting
@@ -67,16 +68,50 @@ def flow_hash(*parts: object) -> int:
 
 
 class Forwarder:
-    """Expands AS paths to router-level paths over one Internet instance."""
+    """Expands AS paths to router-level paths over one Internet instance.
 
-    def __init__(self, internet: Internet, routing: BGPRouting | None = None) -> None:
+    Path *segments* — the per-boundary equally-near interconnect groups,
+    the per-(AS, city) core hop, and the per-(AS, city) access-router
+    fan-out — are memoized in a bounded LRU, so repeated client→server
+    flows skip re-walking the fabric. The caches hold only inputs to the
+    flow-key hash, never its outcome, so cached and uncached routing are
+    bit-identical (``segment_cache_size=0`` disables them, which the
+    determinism suite uses to prove it).
+    """
+
+    def __init__(
+        self,
+        internet: Internet,
+        routing: BGPRouting | None = None,
+        segment_cache_size: int = 65536,
+    ) -> None:
         self._internet = internet
         self._routing = routing if routing is not None else BGPRouting(internet.graph)
         self._distance_cache: dict[tuple[str, str], float] = {}
+        self._segment_cache_size = max(0, segment_cache_size)
+        #: (current_as, next_as, anchor_city) → equally-nearest interconnects.
+        self._segment_cache: OrderedDict[tuple[int, int, str], tuple[Interconnect, ...]] = (
+            OrderedDict()
+        )
+        #: (asn, city) → prebuilt core RouterHop (or None when absent).
+        self._core_hop_cache: dict[tuple[int, str], RouterHop | None] = {}
+        #: (asn, city) → (router_id, first-interface ip) access candidates.
+        self._access_cache: dict[tuple[int, str], tuple[tuple[int, int], ...]] = {}
+        #: (src_asn, dst_asn) → AS path tuple (None = unroutable).
+        self._as_path_cache: OrderedDict[tuple[int, int], tuple[int, ...] | None] = (
+            OrderedDict()
+        )
 
     @property
     def routing(self) -> BGPRouting:
         return self._routing
+
+    def clear_segment_caches(self) -> None:
+        """Drop memoized path segments (topology mutation hook)."""
+        self._segment_cache.clear()
+        self._core_hop_cache.clear()
+        self._access_cache.clear()
+        self._as_path_cache.clear()
 
     def route_flow(
         self,
@@ -92,7 +127,7 @@ class Forwarder:
         always takes the same path (which is what lets Paris traceroute
         see the path an NDT flow used).
         """
-        as_path = self._routing.as_path(src_asn, dst_asn)
+        as_path = self._cached_as_path(src_asn, dst_asn)
         if as_path is None:
             return None
 
@@ -147,45 +182,92 @@ class Forwarder:
 
     # ------------------------------------------------------------------
 
+    def _cached_as_path(self, src_asn: int, dst_asn: int) -> tuple[int, ...] | None:
+        """AS path as an LRU-memoized tuple (the BGP walk is per-hop dict
+        chasing; thousands of identical client→server pairs repeat it)."""
+        if not self._segment_cache_size:
+            path = self._routing.as_path(src_asn, dst_asn)
+            return tuple(path) if path is not None else None
+        key = (src_asn, dst_asn)
+        if key in self._as_path_cache:
+            self._as_path_cache.move_to_end(key)
+            return self._as_path_cache[key]
+        path = self._routing.as_path(src_asn, dst_asn)
+        cached = tuple(path) if path is not None else None
+        self._as_path_cache[key] = cached
+        if len(self._as_path_cache) > self._segment_cache_size:
+            self._as_path_cache.popitem(last=False)
+        return cached
+
     def _append_core_hop(
         self, hops: list[RouterHop], asn: int, city: str, link_id: int | None
     ) -> None:
         """Append the AS's core router in ``city`` if it has one there."""
-        core = self._internet.fabric.core_router_of(asn, city)
-        if core is None:
+        key = (asn, city)
+        if self._segment_cache_size and key in self._core_hop_cache:
+            hop = self._core_hop_cache[key]
+        else:
+            hop = self._build_core_hop(asn, city)
+            if self._segment_cache_size:
+                self._core_hop_cache[key] = hop
+        if hop is None:
             return
-        if hops and hops[-1].router_id == core.router_id:
+        if hops and hops[-1].router_id == hop.router_id:
             return
-        interfaces = self._internet.fabric.interfaces_of(core.router_id)
-        if not interfaces:
-            return
-        hops.append(
-            RouterHop(
-                router_id=core.router_id,
-                asn=asn,
-                city_code=city,
-                reply_ip=interfaces[0].ip,
+        if link_id is not None:
+            hop = RouterHop(
+                router_id=hop.router_id,
+                asn=hop.asn,
+                city_code=hop.city_code,
+                reply_ip=hop.reply_ip,
                 entered_via_link=link_id,
             )
+        hops.append(hop)
+
+    def _build_core_hop(self, asn: int, city: str) -> RouterHop | None:
+        core = self._internet.fabric.core_router_of(asn, city)
+        if core is None:
+            return None
+        interfaces = self._internet.fabric.interfaces_of(core.router_id)
+        if not interfaces:
+            return None
+        return RouterHop(
+            router_id=core.router_id,
+            asn=asn,
+            city_code=city,
+            reply_ip=interfaces[0].ip,
+            entered_via_link=None,
         )
 
     def _append_access_hop(
         self, hops: list[RouterHop], asn: int, city: str, flow_key: object
     ) -> None:
         """Append a last-mile aggregation hop when the destination AS has one."""
-        access_routers = self._internet.fabric.access_routers_of(asn, city)
-        if not access_routers:
+        key = (asn, city)
+        candidates = self._access_cache.get(key) if self._segment_cache_size else None
+        if candidates is None:
+            # Interface-less routers stay in the list (reply ip 0 sentinel)
+            # so the flow-hash modulo matches the uncached walk exactly.
+            candidates = tuple(
+                (router.router_id, interfaces[0].ip if interfaces else 0)
+                for router in self._internet.fabric.access_routers_of(asn, city)
+                for interfaces in (self._internet.fabric.interfaces_of(router.router_id),)
+            )
+            if self._segment_cache_size:
+                self._access_cache[key] = candidates
+        if not candidates:
             return
-        router = access_routers[flow_hash(flow_key, "access", asn, city) % len(access_routers)]
-        interfaces = self._internet.fabric.interfaces_of(router.router_id)
-        if not interfaces:
+        router_id, reply_ip = candidates[
+            flow_hash(flow_key, "access", asn, city) % len(candidates)
+        ]
+        if reply_ip == 0:
             return
         hops.append(
             RouterHop(
-                router_id=router.router_id,
+                router_id=router_id,
                 asn=asn,
                 city_code=city,
-                reply_ip=interfaces[0].ip,
+                reply_ip=reply_ip,
                 entered_via_link=None,
             )
         )
@@ -219,19 +301,49 @@ class Forwarder:
         in several metros — the Table 2 observation (one Atlanta server's
         AT&T tests crossing links in Atlanta, Washington DC, and New York).
         """
-        candidates = self._internet.fabric.links_between(current_as, next_as)
-        if not candidates:
-            return None
         honors_med = flow_hash("egress-policy", current_as, next_as, dst_city) % 2 == 0
         anchor_city = dst_city if honors_med else current_city
-        best_distance = min(self._city_distance(anchor_city, c.city_code) for c in candidates)
-        nearest = sorted(
-            (c for c in candidates
-             if self._city_distance(anchor_city, c.city_code) <= best_distance + 1e-9),
-            key=lambda c: c.link_id,
-        )
+        nearest = self._nearest_links(current_as, next_as, anchor_city)
+        if not nearest:
+            return None
         index = flow_hash(flow_key, current_as, next_as, position) % len(nearest)
         return nearest[index]
+
+    def _nearest_links(
+        self, current_as: int, next_as: int, anchor_city: str
+    ) -> tuple[Interconnect, ...]:
+        """Equally-nearest interconnects for one boundary, LRU-memoized.
+
+        This is the path segment repeated client→server flows share: the
+        candidate group depends only on the AS pair and the anchor metro,
+        never on the flow key, so memoizing it cannot change which member
+        a given flow hashes onto.
+        """
+        key = (current_as, next_as, anchor_city)
+        if self._segment_cache_size:
+            cached = self._segment_cache.get(key)
+            if cached is not None:
+                self._segment_cache.move_to_end(key)
+                return cached
+        candidates = self._internet.fabric.links_between(current_as, next_as)
+        if candidates:
+            best_distance = min(
+                self._city_distance(anchor_city, c.city_code) for c in candidates
+            )
+            nearest = tuple(
+                sorted(
+                    (c for c in candidates
+                     if self._city_distance(anchor_city, c.city_code) <= best_distance + 1e-9),
+                    key=lambda c: c.link_id,
+                )
+            )
+        else:
+            nearest = ()
+        if self._segment_cache_size:
+            self._segment_cache[key] = nearest
+            if len(self._segment_cache) > self._segment_cache_size:
+                self._segment_cache.popitem(last=False)
+        return nearest
 
     @staticmethod
     def _orient(link: Interconnect, near_asn: int) -> tuple[int, int, int, int]:

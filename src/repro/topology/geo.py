@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 # Speed of light in fiber is roughly 2e8 m/s; real paths are not
 # great-circle, so an inflation factor is applied on top.
 _FIBER_KM_PER_MS = 200.0
@@ -69,8 +71,42 @@ def city_by_code(code: str) -> City:
         raise KeyError(f"unknown city code: {code!r}") from None
 
 
-def geo_distance_km(a: City, b: City) -> float:
-    """Great-circle distance between two cities in kilometres (haversine)."""
+_CITY_INDEX = {city.code: index for index, city in enumerate(CITIES)}
+
+#: All-pairs great-circle distances between the canonical metros, built
+#: once at import (20×20, vectorized haversine). The matrix is exactly
+#: symmetric with a zero diagonal because every term of the haversine is
+#: even in the hop order.
+_DISTANCE_MATRIX: np.ndarray = np.empty(0)
+#: Same grid as one-way propagation delays with the metro-area floor
+#: applied, so the per-hop delay lookup is a single indexed read.
+_DELAY_MATRIX: np.ndarray = np.empty(0)
+
+
+def _build_distance_matrix() -> None:
+    global _DISTANCE_MATRIX, _DELAY_MATRIX
+    lat = np.radians(np.array([city.lat for city in CITIES]))
+    lon = np.radians(np.array([city.lon for city in CITIES]))
+    dlat = lat[:, None] - lat[None, :]
+    dlon = lon[:, None] - lon[None, :]
+    h = (
+        np.sin(dlat / 2.0) ** 2
+        + np.cos(lat)[:, None] * np.cos(lat)[None, :] * np.sin(dlon / 2.0) ** 2
+    )
+    _DISTANCE_MATRIX = 2.0 * 6371.0 * np.arcsin(np.sqrt(h))
+    _DELAY_MATRIX = np.maximum(0.2, _DISTANCE_MATRIX * _ROUTE_INFLATION / _FIBER_KM_PER_MS)
+
+
+_build_distance_matrix()
+
+
+def distance_matrix() -> np.ndarray:
+    """The precomputed all-pairs distance grid (row/col order = ``CITIES``)."""
+    return _DISTANCE_MATRIX
+
+
+def haversine_km(a: City, b: City) -> float:
+    """Scalar haversine between two arbitrary cities (no precomputation)."""
     lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
     lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
     dlat = lat2 - lat1
@@ -79,11 +115,37 @@ def geo_distance_km(a: City, b: City) -> float:
     return 2 * 6371.0 * math.asin(math.sqrt(h))
 
 
+def geo_distance_km(a: City, b: City) -> float:
+    """Great-circle distance between two cities in kilometres (haversine).
+
+    Canonical metros (the instances in :data:`CITIES`) hit the precomputed
+    matrix; ad-hoc :class:`City` objects fall back to the scalar formula.
+    """
+    ia = _CITY_INDEX.get(a.code)
+    ib = _CITY_INDEX.get(b.code)
+    if ia is not None and ib is not None and CITIES[ia] is a and CITIES[ib] is b:
+        return float(_DISTANCE_MATRIX[ia, ib])
+    return haversine_km(a, b)
+
+
 def propagation_delay_ms(a: City, b: City) -> float:
     """One-way propagation delay between two cities in milliseconds.
 
     Includes a fixed route-inflation factor over the great-circle path; a
     city to itself still pays a small metro-area floor.
     """
-    distance = geo_distance_km(a, b)
+    ia = _CITY_INDEX.get(a.code)
+    ib = _CITY_INDEX.get(b.code)
+    if ia is not None and ib is not None and CITIES[ia] is a and CITIES[ib] is b:
+        return float(_DELAY_MATRIX[ia, ib])
+    distance = haversine_km(a, b)
     return max(0.2, distance * _ROUTE_INFLATION / _FIBER_KM_PER_MS)
+
+
+def propagation_delay_by_code_ms(code_a: str, code_b: str) -> float:
+    """One-way delay between two canonical metros by city code.
+
+    The fast path for per-hop RTT accumulation: two dict lookups and one
+    matrix read, no :class:`City` objects needed.
+    """
+    return float(_DELAY_MATRIX[_CITY_INDEX[code_a], _CITY_INDEX[code_b]])

@@ -1,0 +1,168 @@
+"""Durable on-disk cache for heavy measurement artifacts.
+
+Campaign replays, per-VP coverage sweeps, and MAP-IT refinements are pure
+functions of (study config, campaign/analysis parameters, code version).
+This module persists their products under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro``) so re-running the experiment suite or the benchmarks
+is a warm start instead of an hour of recomputation.
+
+Keys are content hashes over three ingredients:
+
+* a *kind* namespace ("campaign", "coverage", ...),
+* the ``repr`` of every parameter (configs are frozen dataclasses whose
+  reprs are deterministic),
+* a *code salt* — a digest over every ``.py`` file in the installed
+  ``repro`` package — so any source change invalidates every entry
+  rather than serving results computed by old code.
+
+Values are pickled with the highest protocol and written atomically
+(temp file + rename), so a crashed writer never leaves a half-written
+artifact for the next reader. Unreadable or corrupt entries are treated
+as misses and deleted.
+
+Set ``REPRO_CACHE=0`` (or call :func:`set_enabled` with ``False``) to
+bypass the cache entirely — the benchmark harness does this so timings
+measure computation, not disk reads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_TOGGLE = "REPRO_CACHE"
+
+_enabled_override: bool | None = None
+_code_salt: str | None = None
+
+
+def cache_dir() -> Path:
+    """Resolve the cache root (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+
+    Read per call, not at import, so tests and one-off runs can redirect
+    it with a plain environment variable.
+    """
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def enabled() -> bool:
+    """Whether artifacts are read/written (env toggle + programmatic override)."""
+    if _enabled_override is not None:
+        return _enabled_override
+    return os.environ.get(_ENV_TOGGLE, "1").lower() not in ("0", "false", "no", "off")
+
+
+def set_enabled(value: bool | None) -> None:
+    """Force the cache on/off (None restores the environment's choice)."""
+    global _enabled_override
+    _enabled_override = value
+
+
+def code_salt() -> str:
+    """Digest of the installed ``repro`` sources (computed once per process)."""
+    global _code_salt
+    if _code_salt is None:
+        package_root = Path(__file__).resolve().parent.parent
+        hasher = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            hasher.update(str(path.relative_to(package_root)).encode("utf-8"))
+            hasher.update(b"\x00")
+            hasher.update(path.read_bytes())
+            hasher.update(b"\x01")
+        _code_salt = hasher.hexdigest()
+    return _code_salt
+
+
+def artifact_key(kind: str, *parts: object) -> str:
+    """Stable content key for an artifact of ``kind`` computed from ``parts``."""
+    hasher = hashlib.sha256()
+    hasher.update(kind.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(code_salt().encode("ascii"))
+    for part in parts:
+        hasher.update(b"\x00")
+        hasher.update(repr(part).encode("utf-8"))
+    return hasher.hexdigest()[:32]
+
+
+def _path_for(kind: str, key: str) -> Path:
+    return cache_dir() / f"{kind}-{key}.pkl"
+
+
+def load(kind: str, key: str) -> Any | None:
+    """Fetch a cached artifact, or None on miss/corruption/disabled cache."""
+    if not enabled():
+        return None
+    path = _path_for(kind, key)
+    try:
+        with path.open("rb") as handle:
+            return pickle.load(handle)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        # Corrupt or version-incompatible entry: drop it and recompute.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store(kind: str, key: str, value: Any) -> None:
+    """Persist an artifact atomically; failures degrade to a no-op."""
+    if not enabled():
+        return
+    path = _path_for(kind, key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass  # read-only filesystem, disk full, ... — cache is best-effort
+
+
+def fetch(kind: str, parts: tuple, builder: Callable[[], Any]) -> Any:
+    """Get-or-build: the memoization primitive the heavy steps wire in.
+
+    On a miss the artifact is built, stored, and returned; the round-trip
+    through pickle is what a warm start would return, so cold and warm
+    results are interchangeable.
+    """
+    key = artifact_key(kind, *parts)
+    cached = load(kind, key)
+    if cached is not None:
+        return cached
+    value = builder()
+    store(kind, key, value)
+    return value
+
+
+def clear() -> int:
+    """Delete every cached artifact; returns how many files were removed."""
+    root = cache_dir()
+    removed = 0
+    if root.is_dir():
+        for path in root.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed

@@ -1,0 +1,114 @@
+"""Deterministic process-pool fan-out for per-VP and per-experiment work.
+
+The experiment suite's heavy loops (bdrmap sweeps, coverage trace
+collection, the experiment registry itself) are embarrassingly parallel
+*only if* each unit of work is a pure function of its inputs. The
+contract here:
+
+* every unit carries its own configuration (and, where randomness is
+  involved, its own derived seed or stream label) — no unit reads
+  mutable state another unit wrote;
+* work is partitioned deterministically (``ProcessPoolExecutor.map``
+  with a fixed chunksize) and results are merged back in input order,
+  so ``jobs=N`` output is byte-identical to ``jobs=1`` output.
+
+Workers reuse expensive per-process state: on Linux the pool forks, so
+children inherit the parent's already-built study worlds for free; under
+spawn each worker builds its world on first use and the in-process memo
+(:func:`repro.core.pipeline.build_study`) serves every later unit.
+
+``set_default_jobs`` is the wiring point for ``--jobs N``: loops that
+accept ``jobs=None`` fall back to it, which lets the CLI raise
+parallelism without threading a parameter through every experiment
+signature.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_default_jobs = 1
+#: Set in pool workers so nested fan-out degrades to serial instead of
+#: spawning pools-of-pools.
+_in_worker = False
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the process count used when a loop is called with ``jobs=None``."""
+    global _default_jobs
+    _default_jobs = max(1, int(jobs))
+
+
+def default_jobs() -> int:
+    return _default_jobs
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs`` argument: None → session default, floor 1."""
+    if jobs is None:
+        return _default_jobs
+    return max(1, int(jobs))
+
+
+def _worker_init() -> None:
+    global _in_worker
+    _in_worker = True
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # Fork shares the parent's built topologies copy-on-write; fall back
+    # to spawn where fork is unavailable (non-POSIX).
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """``[func(item) for item in items]`` across a process pool.
+
+    Results come back in input order regardless of completion order, so
+    the merge is canonical. ``func`` must be a module-level callable and
+    every item picklable. With ``jobs<=1``, a single item, or when called
+    from inside a pool worker, this degrades to a plain serial loop —
+    same results, no pool.
+    """
+    work = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(work) <= 1 or _in_worker:
+        return [func(item) for item in work]
+    # Honor the requested job count rather than clamping to os.cpu_count():
+    # callers ask for what they want, and a silent clamp would disable
+    # fan-out entirely inside 1-CPU containers.
+    max_workers = min(jobs, len(work))
+    with ProcessPoolExecutor(
+        max_workers=max_workers,
+        mp_context=_pool_context(),
+        initializer=_worker_init,
+    ) as pool:
+        return list(pool.map(func, work, chunksize=max(1, chunksize)))
+
+
+def partition(items: Sequence[T], parts: int) -> list[list[T]]:
+    """Split ``items`` into ``parts`` contiguous, deterministic slices.
+
+    Sizes differ by at most one and concatenating the slices reproduces
+    the input — the invariant ordered merges rely on.
+    """
+    parts = max(1, min(int(parts), len(items))) if items else 1
+    base, extra = divmod(len(items), parts)
+    out: list[list[T]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        out.append(list(items[start:start + size]))
+        start += size
+    return out
