@@ -1,10 +1,23 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench experiments clean-cache
+.PHONY: test bench experiments trace-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# One traced experiment end-to-end; fails if the observability artifacts
+# (run_manifest.json + trace.json) do not appear or name the wrong schema.
+trace-smoke:
+	rm -f run_manifest.json trace.json
+	$(PYTHON) -m repro.experiments fig1 --trace --jobs 2
+	$(PYTHON) -c "import json; m = json.load(open('run_manifest.json')); \
+	assert m['schema'] == 'repro.obs/run-manifest/v1', m['schema']; \
+	assert 'fig1' in m['experiments'], m['experiments']; \
+	t = json.load(open('trace.json')); \
+	assert t['schema'] == 'repro.obs/trace/v1', t['schema']; \
+	assert t['spans'], 'empty span tree'; \
+	print('trace-smoke ok:', m['cache'], m['pool'])"
 
 bench:
 	$(PYTHON) benchmarks/run_bench.py

@@ -10,9 +10,16 @@ The on-disk artifact cache is disabled for the compute benchmarks so the
 numbers measure computation, not disk reads; a separate cold/warm pair
 demonstrates what the artifact cache itself buys.
 
+This PR additionally measures what the observability layer costs: the
+benchmark campaign is replayed with the metrics registry collecting
+(the default) and with it disabled (what ``REPRO_METRICS=0`` does), and
+the run **fails** if the overhead exceeds 3 %. The observability
+numbers are written to ``BENCH_PR2.json``.
+
 Run via ``make bench`` or::
 
     PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py --obs-only   # just the overhead gate
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.coverage import collect_coverage_reports  # noqa: E402
 from repro.core.pipeline import build_study, clear_study_cache  # noqa: E402
+from repro.obs import metrics  # noqa: E402
 from repro.platforms.campaign import run_ndt_campaign  # noqa: E402
 from repro.util import artifact_cache  # noqa: E402
 
@@ -46,6 +54,10 @@ SEED_BASELINES_S = {
 }
 
 OUTPUT = REPO_ROOT / "BENCH_PR1.json"
+OBS_OUTPUT = REPO_ROOT / "BENCH_PR2.json"
+
+#: Hard ceiling on what metrics collection may cost the hot path.
+OBS_OVERHEAD_LIMIT = 0.03
 
 
 def _timed(func, repeats: int) -> list[float]:
@@ -115,7 +127,72 @@ def bench_artifact_cache() -> dict[str, float]:
     return {"cold_s": round(cold, 3), "warm_s": round(warm, 3)}
 
 
+def bench_obs_overhead(repeats: int = 5) -> dict[str, object]:
+    """Campaign replay with metrics collecting vs disabled, interleaved.
+
+    Interleaving the on/off runs and comparing fastest-vs-fastest keeps
+    machine drift (thermal, noisy neighbours) out of a 3 % comparison;
+    the medians are reported alongside for context.
+    """
+    study = build_study(BENCH_STUDY_CONFIG)
+    study._run_campaign_uncached(BENCH_CAMPAIGN)  # warm code paths once
+    on_runs: list[float] = []
+    off_runs: list[float] = []
+    for _ in range(repeats):
+        for enabled, runs in ((False, off_runs), (True, on_runs)):
+            metrics.set_enabled(enabled)
+            try:
+                start = time.perf_counter()
+                study._run_campaign_uncached(BENCH_CAMPAIGN)
+                runs.append(round(time.perf_counter() - start, 3))
+            finally:
+                metrics.set_enabled(None)
+    overhead = min(on_runs) / min(off_runs) - 1.0
+    return {
+        "metrics_on_runs_s": on_runs,
+        "metrics_off_runs_s": off_runs,
+        "metrics_on_best_s": min(on_runs),
+        "metrics_off_best_s": min(off_runs),
+        "metrics_on_median_s": round(statistics.median(on_runs), 3),
+        "metrics_off_median_s": round(statistics.median(off_runs), 3),
+        "overhead_fraction": round(overhead, 4),
+        "limit_fraction": OBS_OVERHEAD_LIMIT,
+        "within_limit": overhead <= OBS_OVERHEAD_LIMIT,
+    }
+
+
+def run_obs_gate() -> int:
+    """Measure observability overhead, write BENCH_PR2.json, gate at 3 %."""
+    artifact_cache.set_enabled(False)
+    try:
+        obs = bench_obs_overhead()
+    finally:
+        artifact_cache.set_enabled(None)
+    report = {
+        "machine": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+        "study_config": repr(BENCH_STUDY_CONFIG),
+        "campaign_config": repr(BENCH_CAMPAIGN),
+        "obs_overhead": obs,
+    }
+    OBS_OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"obs overhead: {obs['overhead_fraction']:+.2%} "
+        f"(metrics on {obs['metrics_on_best_s']}s vs off {obs['metrics_off_best_s']}s, "
+        f"limit {OBS_OVERHEAD_LIMIT:.0%}); wrote {OBS_OUTPUT}"
+    )
+    if not obs["within_limit"]:
+        print("FAIL: observability overhead exceeds the limit", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main() -> int:
+    if "--obs-only" in sys.argv[1:]:
+        return run_obs_gate()
     artifact_cache.set_enabled(False)
     results: dict[str, dict] = {}
 
@@ -167,7 +244,7 @@ def main() -> int:
     print(f"\nwrote {OUTPUT}")
     for name, factor in speedups.items():
         print(f"  {name}: {factor}x vs seed")
-    return 0
+    return run_obs_gate()
 
 
 if __name__ == "__main__":

@@ -25,6 +25,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "Congestion Using Throughput Measurements' (IMC 2017)",
     )
     parser.add_argument("--seed", type=int, default=7, help="root seed for the world")
+    parser.add_argument("--log-level", default="warning",
+                        choices=("debug", "info", "warning", "error"),
+                        help="pipeline log level (default: warning)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit logs as JSON lines instead of text")
     sub = parser.add_subparsers(dest="command", required=True)
 
     generate = sub.add_parser("generate", help="export public topology artifacts")
@@ -49,6 +54,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     experiments = sub.add_parser("experiments", help="regenerate paper artifacts")
     experiments.add_argument("ids", nargs="+")
+    experiments.add_argument("--jobs", default=1, metavar="N",
+                             help="process-pool width for fan-out (>= 1)")
+    experiments.add_argument("--trace", action="store_true",
+                             help="print the span tree and write trace.json")
+    experiments.add_argument("--probe-flows", action="store_true",
+                             help="record tcp_probe-style exemplar flow series")
 
     report = sub.add_parser("report", help="write a markdown reproduction report")
     report.add_argument("path")
@@ -59,6 +70,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    from repro.obs.log import configure_logging
+
+    configure_logging(level=args.log_level, json_lines=args.log_json)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "campaign":
@@ -68,7 +82,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "experiments":
         from repro.experiments.__main__ import main as experiments_main
 
-        return experiments_main(args.ids)
+        forwarded = [*args.ids, "--jobs", str(args.jobs),
+                     "--log-level", args.log_level]
+        if args.trace:
+            forwarded.append("--trace")
+        if args.probe_flows:
+            forwarded.append("--probe-flows")
+        if args.log_json:
+            forwarded.append("--log-json")
+        return experiments_main(forwarded)
     if args.command == "report":
         from repro.reporting.__main__ import main as report_main
 

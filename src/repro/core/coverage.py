@@ -23,10 +23,14 @@ from repro.inference.borders import OriginOracle
 from repro.inference.mapit import MapIt, MapItConfig
 from repro.measurement.records import TracerouteRecord
 from repro.measurement.traceroute import TracerouteConfig, TracerouteEngine
+from repro.obs.log import get_logger
+from repro.obs.trace import span
 from repro.platforms.ark import ArkVP
 from repro.topology.asgraph import Relationship
 from repro.topology.internet import Internet
 from repro.util.parallel import parallel_map
+
+_log = get_logger(__name__)
 
 #: Border identity at the router level: (VP-side alias group, neighbor org).
 RouterBorder = tuple[int, int]
@@ -171,28 +175,39 @@ def vp_coverage_report(
     across processes and still merge byte-identical results.
     """
     internet = study.internet
-    engine = TracerouteEngine(
-        internet,
-        study.forwarder,
-        TracerouteConfig(seed=study.config.seed),
-        stream=f"coverage:{vp.code}",
+    with span("vp_sweep", vp=vp.label):
+        engine = TracerouteEngine(
+            internet,
+            study.forwarder,
+            TracerouteConfig(seed=study.config.seed),
+            stream=f"coverage:{vp.code}",
+        )
+        with span("bdrmap_traces"):
+            bdrmap_traces = collect_bdrmap_traces(
+                internet, vp, engine, max_prefixes=max_prefixes
+            )
+        mlab_targets = [(s.ip, s.asn, s.city) for s in study.mlab.servers()]
+        speedtest_targets = [(s.ip, s.asn, s.city) for s in study.speedtest.servers()]
+        alexa_targets = [
+            (t.ip, t.asn, t.city) for t in study.alexa_targets(count=alexa_count)
+        ]
+        with span("platform_traces"):
+            platform_traces = {
+                "mlab": collect_target_traces(internet, vp, engine, mlab_targets, "mlab"),
+                "speedtest": collect_target_traces(
+                    internet, vp, engine, speedtest_targets, "speedtest"
+                ),
+                "alexa": collect_target_traces(internet, vp, engine, alexa_targets, "alexa"),
+            }
+        with span("coverage_analysis"):
+            report = coverage_analysis(
+                internet, vp, bdrmap_traces, platform_traces, study.oracle
+            )
+    _log.debug(
+        "coverage sweep for %s: %d bdrmap traces, %d borders discovered",
+        vp.label, len(bdrmap_traces), report.discovered.as_count(),
     )
-    bdrmap_traces = collect_bdrmap_traces(internet, vp, engine, max_prefixes=max_prefixes)
-    mlab_targets = [(s.ip, s.asn, s.city) for s in study.mlab.servers()]
-    speedtest_targets = [(s.ip, s.asn, s.city) for s in study.speedtest.servers()]
-    alexa_targets = [
-        (t.ip, t.asn, t.city) for t in study.alexa_targets(count=alexa_count)
-    ]
-    platform_traces = {
-        "mlab": collect_target_traces(internet, vp, engine, mlab_targets, "mlab"),
-        "speedtest": collect_target_traces(
-            internet, vp, engine, speedtest_targets, "speedtest"
-        ),
-        "alexa": collect_target_traces(internet, vp, engine, alexa_targets, "alexa"),
-    }
-    return coverage_analysis(
-        internet, vp, bdrmap_traces, platform_traces, study.oracle
-    )
+    return report
 
 
 def _coverage_unit(args: tuple) -> CoverageReport:
@@ -220,7 +235,9 @@ def collect_coverage_reports(
     units = [
         (study.config, index, alexa_count, max_prefixes) for index in range(len(vps))
     ]
-    reports = parallel_map(_coverage_unit, units, jobs=jobs)
+    _log.info("collecting coverage reports for %d VPs", len(vps))
+    with span("coverage_sweep", vps=len(vps)):
+        reports = parallel_map(_coverage_unit, units, jobs=jobs)
     return {vp.label: report for vp, report in zip(vps, reports)}
 
 

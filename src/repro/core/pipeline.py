@@ -9,9 +9,12 @@ cost) and hands back a :class:`Study` with everything attached.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.inference.borders import OriginOracle
+from repro.obs.log import get_logger
+from repro.obs.trace import span
 from repro.measurement.traceroute import TracerouteConfig, TracerouteEngine
 from repro.net.link import CongestionDirective, LinkNetwork, ProvisioningConfig, provision_links
 from repro.net.tcp import TCPModel
@@ -26,6 +29,8 @@ from repro.routing.forwarding import Forwarder
 from repro.topology.generator import InternetConfig, generate_internet
 from repro.topology.internet import Internet
 from repro.util import artifact_cache
+
+_log = get_logger(__name__)
 
 #: The congestion scenario of the 2014/2015 M-Lab reports: AT&T's GTT
 #: interconnects saturate at peak (the Figure 5(a) case); Verizon↔TATA and
@@ -79,11 +84,12 @@ class Study:
         is also what makes the result safe to persist in the on-disk
         artifact cache keyed on (study config, campaign config).
         """
-        return artifact_cache.fetch(
-            "campaign",
-            (self.config, campaign),
-            lambda: self._run_campaign_uncached(campaign),
-        )
+        with span("campaign", seed=campaign.seed, tests=campaign.total_tests):
+            return artifact_cache.fetch(
+                "campaign",
+                (self.config, campaign),
+                lambda: self._run_campaign_uncached(campaign),
+            )
 
     def _run_campaign_uncached(self, campaign: CampaignConfig) -> CampaignResult:
         engine = TracerouteEngine(
@@ -121,35 +127,50 @@ def build_study(config: StudyConfig | None = None) -> Study:
         config = StudyConfig()
     cached = _STUDY_CACHE.get(config)
     if cached is not None:
+        _log.debug("build_study memo hit (seed=%d scale=%s)", config.seed, config.scale)
         return cached
 
-    internet = generate_internet(
-        InternetConfig(seed=config.seed, scale=config.scale, epoch=config.epoch)
+    start = time.perf_counter()
+    with span("build_study", seed=config.seed, scale=config.scale, epoch=config.epoch):
+        with span("generate_internet"):
+            internet = generate_internet(
+                InternetConfig(seed=config.seed, scale=config.scale, epoch=config.epoch)
+            )
+        with span("provision_links"):
+            links = provision_links(
+                internet,
+                ProvisioningConfig(
+                    seed=config.seed,
+                    directives=config.directives,
+                    random_congested_fraction=config.random_congested_fraction,
+                ),
+            )
+        with span("platforms"):
+            population = ClientPopulation(
+                internet,
+                PopulationConfig(seed=config.seed, clients_per_million=config.clients_per_million),
+            )
+            mlab = MLabPlatform(internet, MLabConfig(seed=config.seed, server_count=config.mlab_server_count))
+            speedtest = SpeedtestPlatform(
+                internet, SpeedtestConfig(seed=config.seed, server_count=config.speedtest_server_count)
+            )
+        with span("routing_and_models"):
+            routing = BGPRouting(internet.graph)
+            forwarder = Forwarder(internet, routing)
+            tcp = TCPModel(links, seed=config.seed)
+            oracle = OriginOracle(internet.prefix_table, internet.orgs, internet.ixps.prefixes())
+            engine = TracerouteEngine(internet, forwarder, TracerouteConfig(seed=config.seed))
+            org_names = {
+                org.primary: org.name for org in internet.orgs.organizations()
+            }
+    _log.info(
+        "built study world in %.1fs (seed=%d scale=%s, %d ASes, %d client orgs)",
+        time.perf_counter() - start,
+        config.seed,
+        config.scale,
+        len(internet.graph),
+        len(population.orgs()),
     )
-    links = provision_links(
-        internet,
-        ProvisioningConfig(
-            seed=config.seed,
-            directives=config.directives,
-            random_congested_fraction=config.random_congested_fraction,
-        ),
-    )
-    population = ClientPopulation(
-        internet,
-        PopulationConfig(seed=config.seed, clients_per_million=config.clients_per_million),
-    )
-    mlab = MLabPlatform(internet, MLabConfig(seed=config.seed, server_count=config.mlab_server_count))
-    speedtest = SpeedtestPlatform(
-        internet, SpeedtestConfig(seed=config.seed, server_count=config.speedtest_server_count)
-    )
-    routing = BGPRouting(internet.graph)
-    forwarder = Forwarder(internet, routing)
-    tcp = TCPModel(links, seed=config.seed)
-    oracle = OriginOracle(internet.prefix_table, internet.orgs, internet.ixps.prefixes())
-    engine = TracerouteEngine(internet, forwarder, TracerouteConfig(seed=config.seed))
-    org_names = {
-        org.primary: org.name for org in internet.orgs.organizations()
-    }
     study = Study(
         config=config,
         internet=internet,

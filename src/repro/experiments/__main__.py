@@ -6,17 +6,27 @@
     python -m repro.experiments fig2 --jobs 4      # parallel per-VP fan-out
     python -m repro.experiments all --jobs 4       # fan experiments out too
     python -m repro.experiments fig1 --profile     # cProfile top-10 per id
+    python -m repro.experiments fig1 --trace       # span tree + trace.json
+    python -m repro.experiments fig5 --probe-flows # tcp_probe-style series
 
 ``--jobs N`` raises the session's parallelism: per-VP loops fan out
 inside each experiment, and ``all`` additionally distributes whole
 experiments across the pool. Output is printed in registry order and is
-identical to a serial run. ``--profile`` wraps each experiment in
-cProfile and prints its top-10 functions by cumulative time (forces
-serial execution so the numbers mean something).
+identical to a serial run — observability lives beside results, never
+inside them.
+
+Every run writes ``run_manifest.json`` (seed, config digest, cache and
+pool stats, per-experiment status + duration, span tree) so two runs can
+be diffed; ``--trace`` additionally prints the span tree and writes the
+machine-readable ``trace.json``. ``--log-level debug --log-json`` turns
+the pipeline's structured logs on as JSONL on stderr. ``--profile``
+wraps each experiment in cProfile and prints its top-10 functions by
+cumulative time (forces serial execution so the numbers mean something).
 """
 
 from __future__ import annotations
 
+import argparse
 import cProfile
 import io
 import pstats
@@ -25,48 +35,54 @@ import time
 
 from repro.experiments import EXPERIMENTS
 from repro.experiments.base import ExperimentResult
-from repro.util.parallel import parallel_map, set_default_jobs
+from repro.obs import flowprobe, manifest, metrics, trace
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.trace import span
+from repro.util import artifact_cache
+from repro.util.parallel import (
+    parallel_map,
+    pool_stats,
+    set_default_jobs,
+    validate_jobs,
+)
+
+_log = get_logger(__name__)
 
 
 def _run_experiment(experiment_id: str) -> ExperimentResult:
-    """Pool worker: one experiment end-to-end (module-level for pickling)."""
-    return EXPERIMENTS[experiment_id]()
+    """Pool worker: one experiment end-to-end (module-level for pickling).
+
+    The span makes every experiment a named node in the timing tree —
+    in-process for serial runs, returned from the worker and grafted in
+    input order for ``all --jobs N`` runs, so the tree shape is the same
+    either way.
+    """
+    with span(f"experiment:{experiment_id}"):
+        return EXPERIMENTS[experiment_id]()
 
 
-def _parse_args(argv: list[str]) -> tuple[list[str], int, bool] | None:
-    ids: list[str] = []
-    jobs = 1
-    profile = False
-    index = 0
-    while index < len(argv):
-        arg = argv[index]
-        if arg == "--jobs":
-            if index + 1 >= len(argv):
-                print("--jobs requires a value", file=sys.stderr)
-                return None
-            try:
-                jobs = int(argv[index + 1])
-            except ValueError:
-                print(f"--jobs requires an integer, got {argv[index + 1]!r}", file=sys.stderr)
-                return None
-            index += 2
-        elif arg.startswith("--jobs="):
-            try:
-                jobs = int(arg.split("=", 1)[1])
-            except ValueError:
-                print(f"--jobs requires an integer, got {arg!r}", file=sys.stderr)
-                return None
-            index += 1
-        elif arg == "--profile":
-            profile = True
-            index += 1
-        elif arg.startswith("--"):
-            print(f"unknown option {arg!r}", file=sys.stderr)
-            return None
-        else:
-            ids.append(arg)
-            index += 1
-    return ids, max(1, jobs), profile
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids, or 'all'")
+    parser.add_argument("--jobs", default=1, metavar="N",
+                        help="process-pool width for fan-out (>= 1)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each experiment (forces serial)")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the span tree and write trace.json")
+    parser.add_argument("--probe-flows", action="store_true",
+                        help="record tcp_probe-style series for exemplar flows")
+    parser.add_argument("--obs-dir", default=".", metavar="DIR",
+                        help="directory for run_manifest.json / trace.json")
+    parser.add_argument("--log-level", default="warning",
+                        choices=("debug", "info", "warning", "error"),
+                        help="pipeline log level (default: warning)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit logs as JSON lines instead of text")
+    return parser
 
 
 def _print_result(experiment_id: str, result: ExperimentResult, elapsed_s: float) -> None:
@@ -78,7 +94,7 @@ def _run_profiled(experiment_id: str) -> tuple[ExperimentResult, float]:
     profiler = cProfile.Profile()
     start = time.time()
     profiler.enable()
-    result = EXPERIMENTS[experiment_id]()
+    result = _run_experiment(experiment_id)
     profiler.disable()
     elapsed = time.time() - start
     stream = io.StringIO()
@@ -88,16 +104,41 @@ def _run_profiled(experiment_id: str) -> tuple[ExperimentResult, float]:
     return result, elapsed
 
 
+def _experiment_durations(span_tree: list[dict], ids: list[str]) -> dict[str, float]:
+    """Per-experiment wall seconds, read off the merged span tree."""
+    durations: dict[str, float] = {}
+
+    def walk(nodes: list[dict]) -> None:
+        for node in nodes:
+            name = str(node.get("name", ""))
+            if name.startswith("experiment:"):
+                durations[name.split(":", 1)[1]] = float(node.get("duration_s", 0.0))
+            walk(node.get("children", []))
+
+    walk(span_tree)
+    return {i: durations.get(i, 0.0) for i in ids if i in durations}
+
+
 def main(argv: list[str]) -> int:
-    parsed = _parse_args(argv)
-    if parsed is None:
+    try:
+        args = _build_parser().parse_args(argv)
+    except SystemExit as exit_:
+        return int(exit_.code or 0)
+    try:
+        jobs = validate_jobs(args.jobs)
+    except ValueError as error:
+        print(error, file=sys.stderr)
         return 2
-    ids, jobs, profile = parsed
+
+    configure_logging(level=args.log_level, json_lines=args.log_json)
+
+    ids = list(args.ids)
     if not ids:
         print("available experiments:")
         for experiment_id in EXPERIMENTS:
             print(f"  {experiment_id}")
-        print("usage: python -m repro.experiments <id>... | all [--jobs N] [--profile]")
+        print("usage: python -m repro.experiments <id>... | all "
+              "[--jobs N] [--trace] [--profile] [--probe-flows]")
         return 0
     run_all = ids == ["all"]
     if run_all:
@@ -108,27 +149,70 @@ def main(argv: list[str]) -> int:
         return 2
 
     set_default_jobs(jobs)
+    metrics.reset()
+    trace.set_enabled(True)
+    trace.reset()
+    if args.probe_flows:
+        flowprobe.activate(flowprobe.FlowProbeRecorder())
+    _log.info("running %d experiment(s) with jobs=%d", len(ids), jobs)
+
     suite_start = time.time()
-    if profile:
-        for experiment_id in ids:
-            result, elapsed = _run_profiled(experiment_id)
-            _print_result(experiment_id, result, elapsed)
-    elif run_all and jobs > 1:
-        # Fan whole experiments out; each worker runs its experiment
-        # serially (nested fan-out degrades to serial inside workers).
-        # Results print in registry order — identical text to jobs=1.
-        start = time.time()
-        results = parallel_map(_run_experiment, ids, jobs=jobs)
-        elapsed = time.time() - start
-        for experiment_id, result in zip(ids, results):
-            _print_result(experiment_id, result, elapsed / len(ids))
-    else:
-        for experiment_id in ids:
+    statuses: dict[str, dict[str, object]] = {}
+    with span("suite", ids=len(ids), jobs=jobs):
+        if args.profile:
+            for experiment_id in ids:
+                result, elapsed = _run_profiled(experiment_id)
+                _print_result(experiment_id, result, elapsed)
+                statuses[experiment_id] = {"status": "ok"}
+        elif run_all and jobs > 1:
+            # Fan whole experiments out; each worker runs its experiment
+            # serially (nested fan-out degrades to serial inside workers).
+            # Results print in registry order — identical text to jobs=1.
             start = time.time()
-            result = EXPERIMENTS[experiment_id]()
-            _print_result(experiment_id, result, time.time() - start)
+            results = parallel_map(_run_experiment, ids, jobs=jobs)
+            elapsed = time.time() - start
+            for experiment_id, result in zip(ids, results):
+                _print_result(experiment_id, result, elapsed / len(ids))
+                statuses[experiment_id] = {"status": "ok"}
+        else:
+            for experiment_id in ids:
+                start = time.time()
+                result = _run_experiment(experiment_id)
+                _print_result(experiment_id, result, time.time() - start)
+                statuses[experiment_id] = {"status": "ok"}
+    wall_s = time.time() - suite_start
     if run_all:
-        print(f"== {len(ids)} experiments in {time.time() - suite_start:.1f}s total ==")
+        print(f"== {len(ids)} experiments in {wall_s:.1f}s total ==")
+
+    # --- observability artifacts (beside the results, never inside) -----
+    span_tree = trace.tree()
+    for experiment_id, duration in _experiment_durations(span_tree, ids).items():
+        statuses[experiment_id]["duration_s"] = round(duration, 3)
+    snapshot = metrics.snapshot()
+    probe_series = flowprobe.active().to_dict() if flowprobe.active() else []
+    payload = manifest.build_manifest(
+        ids=ids,
+        jobs=jobs,
+        seed=7,  # the experiments registry runs the default seed-7 world
+        config_digest=artifact_cache.code_salt()[:16],
+        experiments=statuses,
+        metrics_snapshot=snapshot,
+        pool_stats=pool_stats(),
+        span_tree=span_tree,
+        wall_s=wall_s,
+        flow_probes=probe_series,
+    )
+    manifest_path = manifest.write_manifest(payload, args.obs_dir)
+    _log.info("wrote %s", manifest_path)
+    if args.trace:
+        trace_path = manifest.write_trace(span_tree, args.obs_dir)
+        print(f"--- span tree ({trace_path}) ---")
+        print(trace.render(span_tree))
+        cache_line = payload["cache"]
+        print(f"cache: {cache_line['hits']} hits / {cache_line['misses']} misses; "
+              f"pool: {pool_stats()}")
+    if args.probe_flows:
+        flowprobe.deactivate()
     return 0
 
 

@@ -23,11 +23,14 @@ from repro.inference.alias import AliasResolution, AliasResolver
 from repro.inference.borders import OriginOracle
 from repro.inference.mapit import MapIt, MapItConfig
 from repro.measurement.records import TracerouteRecord
+from repro.obs.log import get_logger
 from repro.measurement.traceroute import TracerouteConfig, TracerouteEngine
 from repro.platforms.ark import ArkVP
 from repro.topology.asgraph import Relationship
 from repro.topology.internet import Internet
 from repro.util.parallel import parallel_map
+
+_log = get_logger(__name__)
 
 #: Priority when sibling-pair relationships conflict: an org that sells
 #: transit to any sibling of the neighbor is recorded as its provider.
@@ -84,6 +87,7 @@ def collect_bdrmap_traces(
     max_prefixes: int | None = None,
 ) -> list[TracerouteRecord]:
     """Collection phase: traceroute from the VP toward every routed prefix."""
+    _log.debug("bdrmap collection from %s toward routed prefixes", vp.label)
     traces: list[TracerouteRecord] = []
     prefixes = internet.routed_prefixes()
     if max_prefixes is not None:

@@ -37,7 +37,10 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 
 from repro.inference.borders import OriginOracle
+from repro.obs.log import get_logger
 from repro.topology.asgraph import ASGraph
+
+_log = get_logger(__name__)
 
 def _same_ptp_subnet(a: int, b: int) -> bool:
     """True when two addresses form a point-to-point pair.
@@ -181,6 +184,10 @@ class MapIt:
             total_flips += len(proposals)
 
         links = self._extract_links(traces, pair_counts, ownership)
+        _log.info(
+            "MAP-IT: %d traces, %d interfaces, %d passes, %d flips, %d links",
+            len(traces), len(interfaces), passes, total_flips, len(links),
+        )
         return MapItResult(
             ownership=ownership, links=links, passes_used=passes, flips=total_flips
         )

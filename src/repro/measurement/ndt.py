@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.measurement.records import NDTRecord
 from repro.net.tcp import TCPModel
+from repro.obs import flowprobe
 from repro.routing.forwarding import Forwarder, ForwardingPath
 
 
@@ -76,12 +77,20 @@ class NDTRunner:
         )
         if path is None:
             return None
+        # Flow probing is opt-in; the key is only built when a recorder
+        # is active so the default path stays allocation-free.
+        probe_key = (
+            ("ndt", client.org_name, self._next_test_id)
+            if flowprobe.active() is not None
+            else None
+        )
         observation = self._tcp.observe(
             path,
             hour=local_hour,
             access_rate_bps=client.plan_rate_bps,
             home_factor=client.home_factor,
             access_loss=client.access_loss,
+            probe_key=probe_key,
         )
         # Upstream phase: client → server over the *client's* best path
         # (forward/reverse routes can differ — §5.1's asymmetry caveat).

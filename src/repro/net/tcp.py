@@ -23,9 +23,17 @@ import math
 from dataclasses import dataclass
 
 from repro.net.link import BASE_LOSS, LinkNetwork
+from repro.obs import flowprobe, metrics
 from repro.routing.forwarding import ForwardingPath
 from repro.topology.geo import propagation_delay_by_code_ms
 from repro.util.rng import derive_random
+
+_FLOWS = metrics.counter("tcp.flows_simulated")
+_RETX_RATE = metrics.histogram("tcp.retx_rate")
+_SIGNALS = metrics.counter("tcp.congestion_signals")
+#: "Timeouts": flows whose loss/RTT ceiling collapsed them to the record
+#: floor — the regime where a real NDT transfer stalls on RTOs.
+_TIMEOUTS = metrics.counter("tcp.timeout_floor_flows")
 
 
 @dataclass(frozen=True)
@@ -115,12 +123,17 @@ class TCPModel:
         home_factor: float = 1.0,
         access_loss: float = 0.0,
         with_noise: bool = True,
+        probe_key: object = None,
     ) -> PathObservation:
         """Evaluate one transfer.
 
         ``access_rate_bps`` is the service-plan rate; ``home_factor`` ≤ 1
         models home network / Wi-Fi degradation; ``access_loss`` adds loss
-        on the last mile (bad Wi-Fi).
+        on the last mile (bad Wi-Fi). ``probe_key``, when a flow-probe
+        recorder is active and selects it, attaches a tcp_probe-style
+        per-tick series of this transfer to the recorder — synthesized
+        from the observation alone, so probing never consumes randomness
+        or changes what the transfer observed.
         """
         standing_ms, transient_ms = self._links.path_queue_split_ms(
             path.crossed_links, hour
@@ -150,11 +163,18 @@ class TCPModel:
         if with_noise:
             noise = math.exp(self._rng.gauss(0.0, self._config.throughput_noise_sigma))
             throughput = min(throughput * noise, access_rate_bps)
+        floored = throughput < 10_000.0
         throughput = max(throughput, 10_000.0)  # floor: tests never report ~0
 
         retx = min(0.5, loss * (1.0 + (0.2 * self._rng.random() if with_noise else 0.0)))
         packets = throughput * self._config.test_duration_s / (self._config.mss_bytes * 8.0)
         signals = int(round(retx * packets))
+
+        _FLOWS.inc()
+        _SIGNALS.inc(signals)
+        _RETX_RATE.observe(retx)
+        if floored:
+            _TIMEOUTS.inc()
 
         # RTT extremes: standing queues are on the floor from the first
         # round trip; transient queues mostly drain out of the minimum; an
@@ -162,6 +182,25 @@ class TCPModel:
         rtt_min = base_ms + standing_ms + self._config.transient_floor_fraction * transient_ms
         self_buffer = self._config.access_buffer_ms if kind == "access" else 2.0
         rtt_max = rtt_ms + self_buffer
+
+        probe = flowprobe.active()
+        if probe is not None and probe_key is not None and probe.wants(probe_key):
+            probe.record(
+                probe_key,
+                throughput_bps=throughput,
+                rtt_min_ms=rtt_min,
+                rtt_max_ms=rtt_max,
+                access_limited=(kind == "access"),
+                mss_bytes=self._config.mss_bytes,
+                duration_s=self._config.test_duration_s,
+                meta={
+                    "hour": round(hour, 2),
+                    "bottleneck": kind,
+                    "loss": round(loss, 5),
+                    "rtt_ms": round(rtt_ms, 3),
+                },
+            )
+
         return PathObservation(
             throughput_bps=throughput,
             rtt_ms=rtt_ms,

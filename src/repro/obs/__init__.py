@@ -1,0 +1,33 @@
+"""Observability layer: structured logging, metrics, span tracing, probes.
+
+``repro.obs`` is the cross-cutting instrumentation the measurement
+pipeline reports through. It never feeds back into results: metrics and
+spans live *beside* experiment outputs (a run with observability off is
+byte-identical to a run with it on), and every hot-path hook is guarded
+so the disabled state costs a single flag check.
+
+Four sub-modules:
+
+* :mod:`repro.obs.log` — stdlib logging with an optional JSONL formatter,
+  wired to ``--log-level`` / ``--log-json`` on the CLIs;
+* :mod:`repro.obs.metrics` — process-local counters / gauges / histograms
+  (``REPRO_METRICS=0`` disables collection);
+* :mod:`repro.obs.trace` — ``span("phase")`` timing trees, merged
+  deterministically across pool workers and rendered by ``--trace``;
+* :mod:`repro.obs.flowprobe` — opt-in tcp_probe-style per-tick flow
+  series (cwnd / ssthresh / srtt / throughput) for selected flows.
+"""
+
+from repro.obs.log import JSONLFormatter, configure_logging, get_logger
+from repro.obs import flowprobe, metrics, trace
+from repro.obs.trace import span
+
+__all__ = [
+    "JSONLFormatter",
+    "configure_logging",
+    "flowprobe",
+    "get_logger",
+    "metrics",
+    "span",
+    "trace",
+]

@@ -1,0 +1,201 @@
+"""tcp_probe-style per-flow tick series (opt-in).
+
+The kernel's ``tcp_probe`` tracepoint logs cwnd/ssthresh/srtt per ack for
+selected flows; analysts use those series to see *why* a transfer landed
+at the rate it did. Our TCP model is analytic — it produces one
+:class:`~repro.net.tcp.PathObservation` per transfer, not a packet trace
+— so the probe synthesizes the tick series a tcp_probe capture of that
+transfer would have shown: deterministic slow start to the equilibrium
+window, then an AIMD sawtooth for loss-limited flows or a stable
+self-buffered window for access-limited ones. The synthesis is a pure
+function of the observation (no RNG draws), so probing a flow can never
+perturb the measurement stream it describes.
+
+Nothing is recorded unless a :class:`FlowProbeRecorder` is activated
+(``activate()``) *and* the flow's probe key matches its selector — the
+hook in :meth:`repro.net.tcp.TCPModel.observe` is one ``is None`` check
+when probing is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Initial congestion window, packets (RFC 6928).
+INITIAL_CWND = 10.0
+
+
+@dataclass(frozen=True)
+class FlowTick:
+    """One probe sample (one tick of the synthesized transfer)."""
+
+    t_s: float
+    cwnd_pkts: float
+    ssthresh_pkts: float
+    srtt_ms: float
+    throughput_bps: float
+
+
+@dataclass
+class FlowSeries:
+    """All ticks recorded for one probed flow."""
+
+    flow_id: str
+    meta: dict[str, object] = field(default_factory=dict)
+    ticks: list[FlowTick] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "flow_id": self.flow_id,
+            "meta": dict(self.meta),
+            "ticks": [
+                {
+                    "t_s": round(tick.t_s, 3),
+                    "cwnd_pkts": round(tick.cwnd_pkts, 2),
+                    "ssthresh_pkts": round(tick.ssthresh_pkts, 2),
+                    "srtt_ms": round(tick.srtt_ms, 3),
+                    "throughput_bps": round(tick.throughput_bps, 1),
+                }
+                for tick in self.ticks
+            ],
+        }
+
+
+def synthesize_ticks(
+    throughput_bps: float,
+    rtt_min_ms: float,
+    rtt_max_ms: float,
+    access_limited: bool,
+    mss_bytes: int = 1460,
+    duration_s: float = 10.0,
+    tick_s: float = 0.1,
+) -> list[FlowTick]:
+    """Deterministic tcp_probe-equivalent series for one observed transfer.
+
+    ``throughput_bps`` is the transfer's achieved rate; the equilibrium
+    window is the one that sustains it at the flow's steady-state RTT.
+    Loss-limited flows saw between half and the full equilibrium window
+    (the classic AIMD tooth); access-limited flows sit at the window and
+    inflate srtt toward ``rtt_max_ms`` (self-induced bufferbloat).
+    """
+    mss_bits = mss_bytes * 8.0
+    rtt_min_ms = max(0.1, rtt_min_ms)
+    rtt_max_ms = max(rtt_min_ms, rtt_max_ms)
+    steady_rtt_s = (rtt_max_ms if access_limited else (rtt_min_ms + rtt_max_ms) / 2.0) / 1000.0
+    window_eq = max(2.0, throughput_bps * steady_rtt_s / mss_bits)
+    ssthresh = max(2.0, window_eq / 2.0)
+
+    ticks: list[FlowTick] = []
+    cwnd = min(INITIAL_CWND, window_eq)
+    t = 0.0
+    n = max(1, int(round(duration_s / tick_s)))
+    for _ in range(n):
+        # srtt follows queue occupancy: proportional to cwnd's fraction of
+        # the equilibrium window, between the flow's RTT extremes.
+        srtt_ms = rtt_min_ms + (rtt_max_ms - rtt_min_ms) * min(1.0, cwnd / window_eq)
+        inst_bps = cwnd * mss_bits / (srtt_ms / 1000.0)
+        ticks.append(
+            FlowTick(
+                t_s=t,
+                cwnd_pkts=cwnd,
+                ssthresh_pkts=ssthresh,
+                srtt_ms=srtt_ms,
+                throughput_bps=inst_bps,
+            )
+        )
+        rtts_per_tick = max(1e-6, tick_s / (srtt_ms / 1000.0))
+        if cwnd < ssthresh:
+            # Slow start: double per RTT.
+            cwnd = min(cwnd * (2.0 ** rtts_per_tick), window_eq)
+        elif access_limited:
+            cwnd = window_eq
+        else:
+            # Congestion avoidance: +1 MSS per RTT until the tooth tip.
+            cwnd += rtts_per_tick
+            if cwnd >= window_eq:
+                cwnd = ssthresh  # multiplicative decrease on the synthetic loss
+        t += tick_s
+    return ticks
+
+
+class FlowProbeRecorder:
+    """Collects :class:`FlowSeries` for flows its selector picks.
+
+    ``selector`` receives the probe key (whatever the caller attached to
+    the flow — org names, test ids) and returns True to record. At most
+    ``max_flows`` distinct keys are kept; later matches are dropped so an
+    unbounded campaign cannot grow the recorder without bound.
+    """
+
+    def __init__(
+        self,
+        selector: Callable[[object], bool] | None = None,
+        max_flows: int = 64,
+        tick_s: float = 0.1,
+    ) -> None:
+        self._selector = selector
+        self._max_flows = max_flows
+        self.tick_s = tick_s
+        self._series: dict[str, FlowSeries] = {}
+
+    def wants(self, key: object) -> bool:
+        if len(self._series) >= self._max_flows and str(key) not in self._series:
+            return False
+        if self._selector is not None and not self._selector(key):
+            return False
+        return True
+
+    def record(
+        self,
+        key: object,
+        throughput_bps: float,
+        rtt_min_ms: float,
+        rtt_max_ms: float,
+        access_limited: bool,
+        mss_bytes: int = 1460,
+        duration_s: float = 10.0,
+        meta: dict[str, object] | None = None,
+    ) -> FlowSeries:
+        """Synthesize and store the series for one observed transfer."""
+        flow_id = str(key)
+        series = FlowSeries(
+            flow_id=flow_id,
+            meta=dict(meta or {}),
+            ticks=synthesize_ticks(
+                throughput_bps=throughput_bps,
+                rtt_min_ms=rtt_min_ms,
+                rtt_max_ms=rtt_max_ms,
+                access_limited=access_limited,
+                mss_bytes=mss_bytes,
+                duration_s=duration_s,
+                tick_s=self.tick_s,
+            ),
+        )
+        self._series[flow_id] = series
+        return series
+
+    def series(self) -> list[FlowSeries]:
+        return [self._series[k] for k in sorted(self._series)]
+
+    def to_dict(self) -> list[dict[str, object]]:
+        return [s.to_dict() for s in self.series()]
+
+
+_active: FlowProbeRecorder | None = None
+
+
+def active() -> FlowProbeRecorder | None:
+    return _active
+
+
+def activate(recorder: FlowProbeRecorder) -> FlowProbeRecorder:
+    """Install ``recorder`` as the process-wide probe sink."""
+    global _active
+    _active = recorder
+    return recorder
+
+
+def deactivate() -> None:
+    global _active
+    _active = None

@@ -1,0 +1,89 @@
+"""Structured logging for the measurement pipeline.
+
+Every module logs through :func:`get_logger`, which parents loggers under
+the ``repro`` hierarchy so one :func:`configure_logging` call controls the
+whole stack. The default sink is human-readable ``level module: message``
+lines on stderr; ``json_lines=True`` (the ``--log-json`` flag) switches to
+one JSON object per line so campaign logs can be grepped/joined like any
+other measurement artifact. Until configured, the hierarchy stays silent
+(a ``NullHandler``) — importing the library never spams stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+_ROOT = "repro"
+
+#: logging.LogRecord attributes that are bookkeeping, not user payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JSONLFormatter(logging.Formatter):
+    """One JSON object per log line.
+
+    Standard fields: ``ts`` (epoch seconds), ``level``, ``logger``,
+    ``msg``. Anything passed via ``extra={...}`` is included verbatim, so
+    call sites can attach structured context (paths, counts, cache keys)
+    without string-formatting it away.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, sort_keys=False)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger under the ``repro`` hierarchy (``get_logger(__name__)``)."""
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def configure_logging(
+    level: str = "warning",
+    json_lines: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Install one handler on the ``repro`` root logger.
+
+    Re-configuring replaces the previous handler (idempotent across CLI
+    invocations in one process, e.g. the test suite). Returns the root
+    logger so callers can log setup breadcrumbs immediately.
+    """
+    root = logging.getLogger(_ROOT)
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JSONLFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(levelname).1s %(name)s: %(message)s")
+        )
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return root
+
+
+# Library default: silent unless the application configures a sink.
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())

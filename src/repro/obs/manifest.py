@@ -1,0 +1,72 @@
+"""Run manifest: one JSON file that makes two runs diffable.
+
+Every ``python -m repro.experiments`` invocation writes
+``run_manifest.json`` next to its working directory: the seed and config
+digest that determine the world, per-experiment status and duration, the
+cache hit/miss counters, pool stats, the span tree, and any flow-probe
+series. Two runs that should have been identical can be diffed at this
+level before anyone re-reads 60k NDT records.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+MANIFEST_SCHEMA = "repro.obs/run-manifest/v1"
+TRACE_SCHEMA = "repro.obs/trace/v1"
+
+
+def build_manifest(
+    ids: list[str],
+    jobs: int,
+    seed: int,
+    config_digest: str,
+    experiments: dict[str, dict[str, object]],
+    metrics_snapshot: dict[str, object],
+    pool_stats: dict[str, object],
+    span_tree: list[dict[str, object]],
+    wall_s: float,
+    flow_probes: list[dict[str, object]] | None = None,
+) -> dict[str, object]:
+    """Assemble the manifest payload (pure; callers decide where it goes)."""
+    cache = {
+        "hits": metrics_snapshot.get("artifact_cache.hits", 0),
+        "misses": metrics_snapshot.get("artifact_cache.misses", 0),
+        "corrupt_drops": metrics_snapshot.get("artifact_cache.corrupt_drops", 0),
+    }
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "written_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+        "seed": seed,
+        "config_digest": config_digest,
+        "ids": list(ids),
+        "jobs": jobs,
+        "wall_s": round(wall_s, 3),
+        "experiments": experiments,
+        "cache": cache,
+        "pool": pool_stats,
+        "metrics": metrics_snapshot,
+        "trace": span_tree,
+        "flow_probes": list(flow_probes or []),
+    }
+
+
+def write_manifest(manifest: dict[str, object], directory: str | Path = ".") -> Path:
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / "run_manifest.json"
+    path.write_text(json.dumps(manifest, indent=2, default=str) + "\n")
+    return path
+
+
+def write_trace(span_tree: list[dict[str, object]], directory: str | Path = ".") -> Path:
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / "trace.json"
+    payload = {"schema": TRACE_SCHEMA, "spans": span_tree}
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return path

@@ -1,0 +1,218 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Instrumentation points across the pipeline (artifact cache, forwarder
+LRUs, the process pool, the TCP model) grab their metric objects once at
+import time and bump them on the hot path; every mutator is a no-op
+behind a single module-level flag check, so ``REPRO_METRICS=0`` reduces
+the whole layer to one boolean test per event.
+
+The registry is flat (``name -> metric``) and metric objects are stable:
+:func:`reset` zeroes values in place rather than replacing objects, so a
+counter bound at import time keeps working across runs. Pool workers
+return :func:`snapshot` payloads that the parent folds back in with
+:func:`merge_snapshot` (counters add, histograms combine, gauges take
+the incoming value), which is how per-worker activity survives process
+boundaries without touching the workers' result payloads.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Union
+
+_ENV_TOGGLE = "REPRO_METRICS"
+
+_lock = threading.Lock()
+_enabled_override: bool | None = None
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(_ENV_TOGGLE, "1").lower() not in ("0", "false", "no", "off")
+
+
+#: Hot-path flag: every mutator checks this one global before doing work.
+_enabled: bool = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether metric mutations are recorded."""
+    return _enabled
+
+
+def set_enabled(value: bool | None) -> None:
+    """Force collection on/off (``None`` restores the environment's choice)."""
+    global _enabled, _enabled_override
+    _enabled_override = value
+    _enabled = _env_enabled() if value is None else value
+
+
+def enabled_override() -> bool | None:
+    """The programmatic override, if any (pool workers replicate it)."""
+    return _enabled_override
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if _enabled:
+            self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0
+
+    def _snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-observed value (cache sizes, worker counts, skew ratios)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if _enabled:
+            self.value = float(value)
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def _snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max).
+
+    Deliberately bucket-free: the consumers (manifest, bench overhead
+    check) want aggregates, and four floats keep the hot-path cost and
+    the cross-process merge trivial.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        if not _enabled:
+            return
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def _reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def _snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": round(self.mean, 6),
+        }
+
+    def _merge(self, snap: dict[str, float]) -> None:
+        if not snap.get("count"):
+            return
+        self.count += int(snap["count"])
+        self.total += float(snap["total"])
+        if snap["min"] < self.min:
+            self.min = float(snap["min"])
+        if snap["max"] > self.max:
+            self.max = float(snap["max"])
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+_registry: dict[str, Metric] = {}
+
+
+def _get(name: str, cls) -> Metric:
+    metric = _registry.get(name)
+    if metric is None:
+        with _lock:
+            metric = _registry.get(name)
+            if metric is None:
+                metric = cls(name)
+                _registry[name] = metric
+    if not isinstance(metric, cls):
+        raise TypeError(
+            f"metric {name!r} already registered as {type(metric).__name__}"
+        )
+    return metric
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create the counter called ``name`` (stable object identity)."""
+    return _get(name, Counter)
+
+
+def gauge(name: str) -> Gauge:
+    return _get(name, Gauge)
+
+
+def histogram(name: str) -> Histogram:
+    return _get(name, Histogram)
+
+
+def reset() -> None:
+    """Zero every registered metric in place (between-runs hygiene)."""
+    with _lock:
+        for metric in _registry.values():
+            metric._reset()
+
+
+def snapshot() -> dict[str, object]:
+    """Name → plain-value dump of every non-empty metric, sorted by name."""
+    out: dict[str, object] = {}
+    for name in sorted(_registry):
+        metric = _registry[name]
+        if isinstance(metric, Counter) and metric.value == 0:
+            continue
+        if isinstance(metric, Histogram) and metric.count == 0:
+            continue
+        out[name] = metric._snapshot()
+    return out
+
+
+def merge_snapshot(snap: dict[str, object]) -> None:
+    """Fold a worker's :func:`snapshot` into this process's registry."""
+    for name, value in snap.items():
+        if isinstance(value, dict):
+            histogram(name)._merge(value)
+        elif isinstance(value, float):
+            gauge(name).value = value
+        else:
+            existing = _registry.get(name)
+            if isinstance(existing, Gauge):
+                existing.value = float(value)
+            else:
+                counter(name).value += int(value)

@@ -20,6 +20,8 @@ from repro.measurement.ndt import ClientEndpoint, NDTRunner
 from repro.measurement.records import NDTRecord, TracerouteRecord
 from repro.measurement.traceroute import TracerouteEngine
 from repro.net.diurnal import crowdsourced_test_intensity
+from repro.obs import metrics
+from repro.obs.log import get_logger
 from repro.net.tcp import TCPModel
 from repro.platforms.clients import Client, ClientPopulation
 from repro.platforms.mlab import MLabPlatform, MLabServer
@@ -28,6 +30,13 @@ from repro.topology.internet import Internet
 from repro.util.rng import derive_random
 
 _SECONDS_PER_DAY = 86_400.0
+
+_log = get_logger(__name__)
+
+_CAMPAIGNS = metrics.counter("campaign.runs")
+_TESTS = metrics.counter("campaign.ndt_tests")
+_TRACES = metrics.counter("campaign.traceroutes")
+_LOST_TRACES = metrics.counter("campaign.traces_lost_to_busy_daemon")
 
 
 @dataclass(frozen=True)
@@ -127,6 +136,10 @@ def run_ndt_campaign(
     events.sort(key=lambda e: e[0])
 
     # --- execute in time order ------------------------------------------
+    _log.info(
+        "campaign start: %d tests over %d days across %d orgs (seed=%d)",
+        config.total_tests, config.days, len(orgs), config.seed,
+    )
     ndt_records: list[NDTRecord] = []
     traceroutes: list[TracerouteRecord] = []
     for now, client, server in events:
@@ -148,7 +161,9 @@ def run_ndt_campaign(
         record, _path = outcome
         ndt_records.append(record)
         test_end = now + config.test_duration_s
-        if platform.daemon_try_acquire(server.site, test_end) is not None:
+        if platform.daemon_try_acquire(server.site, test_end) is None:
+            _LOST_TRACES.inc()
+        else:
             trace = engine.trace(
                 src_ip=server.ip,
                 src_asn=server.asn,
@@ -162,6 +177,13 @@ def run_ndt_campaign(
             if trace is not None:
                 traceroutes.append(trace)
 
+    _CAMPAIGNS.inc()
+    _TESTS.inc(len(ndt_records))
+    _TRACES.inc(len(traceroutes))
+    _log.info(
+        "campaign done: %d NDT records, %d traceroutes (%d lost to busy daemons)",
+        len(ndt_records), len(traceroutes), len(ndt_records) - len(traceroutes),
+    )
     return CampaignResult(
         config=config,
         ndt_records=ndt_records,

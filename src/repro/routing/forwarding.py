@@ -24,10 +24,18 @@ import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.obs import metrics
 from repro.routing.bgp import BGPRouting
 from repro.topology.geo import city_by_code, geo_distance_km
 from repro.topology.internet import Internet
 from repro.topology.routers import Interconnect, Router, RouterRole
+
+_ROUTES = metrics.counter("forwarder.routes_resolved")
+_UNROUTABLE = metrics.counter("forwarder.unroutable_flows")
+_SEG_HITS = metrics.counter("forwarder.segment_cache.hits")
+_SEG_MISSES = metrics.counter("forwarder.segment_cache.misses")
+_ASPATH_HITS = metrics.counter("forwarder.as_path_cache.hits")
+_ASPATH_MISSES = metrics.counter("forwarder.as_path_cache.misses")
 
 
 @dataclass(frozen=True)
@@ -129,7 +137,9 @@ class Forwarder:
         """
         as_path = self._cached_as_path(src_asn, dst_asn)
         if as_path is None:
+            _UNROUTABLE.inc()
             return None
+        _ROUTES.inc()
 
         hops: list[RouterHop] = []
         crossed: list[int] = []
@@ -190,8 +200,10 @@ class Forwarder:
             return tuple(path) if path is not None else None
         key = (src_asn, dst_asn)
         if key in self._as_path_cache:
+            _ASPATH_HITS.inc()
             self._as_path_cache.move_to_end(key)
             return self._as_path_cache[key]
+        _ASPATH_MISSES.inc()
         path = self._routing.as_path(src_asn, dst_asn)
         cached = tuple(path) if path is not None else None
         self._as_path_cache[key] = cached
@@ -323,8 +335,10 @@ class Forwarder:
         if self._segment_cache_size:
             cached = self._segment_cache.get(key)
             if cached is not None:
+                _SEG_HITS.inc()
                 self._segment_cache.move_to_end(key)
                 return cached
+            _SEG_MISSES.inc()
         candidates = self._internet.fabric.links_between(current_as, next_as)
         if candidates:
             best_distance = min(

@@ -34,8 +34,33 @@ import tempfile
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.obs import metrics
+from repro.obs.log import get_logger
+
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_TOGGLE = "REPRO_CACHE"
+
+_log = get_logger(__name__)
+
+_HITS = metrics.counter("artifact_cache.hits")
+_MISSES = metrics.counter("artifact_cache.misses")
+_CORRUPT = metrics.counter("artifact_cache.corrupt_drops")
+_BYTES_READ = metrics.counter("artifact_cache.bytes_read")
+_BYTES_WRITTEN = metrics.counter("artifact_cache.bytes_written")
+
+#: Exceptions pickle raises on a truncated/garbled/version-skewed entry.
+#: Anything outside this set (KeyboardInterrupt, MemoryError, bugs in
+#: ``__setstate__``) propagates instead of being silently eaten as a miss.
+_CORRUPT_ENTRY_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    ValueError,
+    TypeError,
+    UnicodeDecodeError,
+)
 
 _enabled_override: bool | None = None
 _code_salt: str | None = None
@@ -104,16 +129,38 @@ def load(kind: str, key: str) -> Any | None:
     path = _path_for(kind, key)
     try:
         with path.open("rb") as handle:
-            return pickle.load(handle)
+            value = pickle.load(handle)
     except FileNotFoundError:
+        _MISSES.inc()
         return None
-    except Exception:
-        # Corrupt or version-incompatible entry: drop it and recompute.
+    except _CORRUPT_ENTRY_ERRORS as error:
+        # Corrupt or version-incompatible entry: drop it and recompute —
+        # loudly, so a recurring drop (bad disk, version skew) is visible.
+        _MISSES.inc()
+        _CORRUPT.inc()
+        _log.warning(
+            "dropping corrupt cache entry %s (%s: %s)",
+            path,
+            type(error).__name__,
+            error,
+            extra={"path": str(path), "kind": kind},
+        )
         try:
             path.unlink()
         except OSError:
             pass
         return None
+    except OSError as error:
+        _MISSES.inc()
+        _log.warning("cache read failed for %s: %s", path, error)
+        return None
+    _HITS.inc()
+    if metrics.enabled():
+        try:
+            _BYTES_READ.inc(path.stat().st_size)
+        except OSError:
+            pass
+    return value
 
 
 def store(kind: str, key: str, value: Any) -> None:
@@ -134,8 +181,15 @@ def store(kind: str, key: str, value: Any) -> None:
             except OSError:
                 pass
             raise
-    except OSError:
-        pass  # read-only filesystem, disk full, ... — cache is best-effort
+        if metrics.enabled():
+            try:
+                _BYTES_WRITTEN.inc(path.stat().st_size)
+            except OSError:
+                pass
+        _log.debug("stored %s artifact at %s", kind, path)
+    except OSError as error:
+        # Read-only filesystem, disk full, ... — cache is best-effort.
+        _log.warning("cache write failed for %s: %s", path, error)
 
 
 def fetch(kind: str, parts: tuple, builder: Callable[[], Any]) -> Any:

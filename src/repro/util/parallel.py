@@ -21,21 +21,52 @@ spawn each worker builds its world on first use and the in-process memo
 accept ``jobs=None`` fall back to it, which lets the CLI raise
 parallelism without threading a parameter through every experiment
 signature.
+
+Observability rides along without touching results: when metrics or span
+tracing are enabled, each pool unit is wrapped so the worker returns
+``(result, metrics snapshot, span subtree)``; the parent unwraps the
+results (identical to the unwrapped path) and folds the metric deltas
+and span subtrees back in input order. :func:`pool_stats` reports what
+the last fan-out actually did — workers used, units, and *why* it fell
+back to serial when it did.
 """
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.log import get_logger
+
 T = TypeVar("T")
 R = TypeVar("R")
+
+_log = get_logger(__name__)
 
 _default_jobs = 1
 #: Set in pool workers so nested fan-out degrades to serial instead of
 #: spawning pools-of-pools.
 _in_worker = False
+
+_UNITS = obs_metrics.counter("parallel.units_dispatched")
+_POOLS = obs_metrics.counter("parallel.pools_started")
+_SERIAL = obs_metrics.counter("parallel.serial_fallbacks")
+_UNIT_WALL = obs_metrics.histogram("parallel.unit_wall_s")
+_SKEW = obs_metrics.gauge("parallel.chunk_skew")
+
+#: What the most recent :func:`parallel_map` call did (see pool_stats()).
+_last_stats: dict[str, object] = {
+    "workers": 0,
+    "units": 0,
+    "chunksize": 1,
+    "fallback": None,
+    "chunk_skew": None,
+}
 
 
 def set_default_jobs(jobs: int) -> None:
@@ -55,9 +86,37 @@ def resolve_jobs(jobs: int | None) -> int:
     return max(1, int(jobs))
 
 
-def _worker_init() -> None:
+def validate_jobs(value: str | int) -> int:
+    """Parse a user-facing ``--jobs`` value, rejecting 0/negative/garbage.
+
+    ``resolve_jobs`` floors silently (library-friendly); the CLIs call
+    this instead so ``--jobs 0`` is an error, not a surprise serial run.
+    """
+    try:
+        jobs = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"--jobs requires an integer, got {value!r}") from None
+    if jobs < 1:
+        raise ValueError(f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def pool_stats() -> dict[str, object]:
+    """Snapshot of the most recent fan-out (workers, units, fallback reason)."""
+    return dict(_last_stats)
+
+
+def _worker_init(trace_enabled: bool = False, metrics_enabled: bool | None = None) -> None:
     global _in_worker
     _in_worker = True
+    # Under spawn the worker never saw the parent's runtime toggles; under
+    # fork it inherited them along with stale span/metric state. Both
+    # start from a clean slate with the parent's enablement.
+    obs_trace.set_enabled(trace_enabled)
+    obs_trace.reset()
+    if metrics_enabled is not None:
+        obs_metrics.set_enabled(metrics_enabled)
+    obs_metrics.reset()
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -65,6 +124,30 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     # to spawn where fork is unavailable (non-POSIX).
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _observed_unit(func: Callable[[T], R], item: T) -> tuple[R, dict, list, float]:
+    """Pool worker wrapper: run one unit, capture its obs by-products.
+
+    The worker's registry and span forest are reset per unit, so the
+    returned snapshot/subtree describe exactly this unit; the parent
+    merges them in input order, which keeps the merged span tree's shape
+    independent of scheduling.
+    """
+    obs_metrics.reset()
+    obs_trace.reset()
+    start = time.perf_counter()
+    result = func(item)
+    wall = time.perf_counter() - start
+    return result, obs_metrics.snapshot(), obs_trace.tree(), wall
+
+
+def _record_serial(units: int, reason: str) -> None:
+    _SERIAL.inc()
+    _UNITS.inc(units)
+    _last_stats.update(
+        {"workers": 1, "units": units, "chunksize": 1, "fallback": reason, "chunk_skew": None}
+    )
 
 
 def parallel_map(
@@ -83,18 +166,68 @@ def parallel_map(
     """
     work = list(items)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(work) <= 1 or _in_worker:
+    if _in_worker:
+        if jobs > 1 and len(work) > 1:
+            _log.debug(
+                "nested fan-out of %d units inside a pool worker degrades to serial",
+                len(work),
+            )
+        _record_serial(len(work), "nested-in-worker")
+        return [func(item) for item in work]
+    if jobs <= 1 or len(work) <= 1:
+        _record_serial(len(work), "jobs<=1" if jobs <= 1 else "single-unit")
         return [func(item) for item in work]
     # Honor the requested job count rather than clamping to os.cpu_count():
     # callers ask for what they want, and a silent clamp would disable
     # fan-out entirely inside 1-CPU containers.
     max_workers = min(jobs, len(work))
+    chunksize = max(1, chunksize)
+    observe = obs_metrics.enabled() or obs_trace.enabled()
+    _POOLS.inc()
+    _UNITS.inc(len(work))
+    _last_stats.update(
+        {
+            "workers": max_workers,
+            "units": len(work),
+            "chunksize": chunksize,
+            "fallback": None,
+            "chunk_skew": None,
+        }
+    )
+    _log.debug(
+        "fan-out: %d units across %d workers (chunksize %d)",
+        len(work), max_workers, chunksize,
+    )
     with ProcessPoolExecutor(
         max_workers=max_workers,
         mp_context=_pool_context(),
         initializer=_worker_init,
+        initargs=(obs_trace.enabled(), obs_metrics.enabled_override()),
     ) as pool:
-        return list(pool.map(func, work, chunksize=max(1, chunksize)))
+        if not observe:
+            return list(pool.map(func, work, chunksize=chunksize))
+        wrapped = functools.partial(_observed_unit, func)
+        outs = list(pool.map(wrapped, work, chunksize=chunksize))
+    results: list[R] = []
+    unit_walls: list[float] = []
+    for result, snapshot, subtree, wall in outs:
+        results.append(result)
+        obs_metrics.merge_snapshot(snapshot)
+        obs_trace.attach_subtrees(subtree)
+        unit_walls.append(wall)
+        _UNIT_WALL.observe(wall)
+    # Chunk skew: with map()'s deterministic round-robin chunking, the
+    # per-chunk wall totals show how unevenly the units were sized —
+    # max/mean of 1.0 is perfectly balanced.
+    chunk_walls = [
+        sum(unit_walls[i:i + chunksize]) for i in range(0, len(unit_walls), chunksize)
+    ]
+    mean_wall = sum(chunk_walls) / len(chunk_walls) if chunk_walls else 0.0
+    skew = round(max(chunk_walls) / mean_wall, 3) if mean_wall > 0 else None
+    _last_stats["chunk_skew"] = skew
+    if skew is not None:
+        _SKEW.set(skew)
+    return results
 
 
 def partition(items: Sequence[T], parts: int) -> list[list[T]]:

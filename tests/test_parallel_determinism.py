@@ -28,6 +28,7 @@ from repro.topology.geo import (
     propagation_delay_by_code_ms,
     propagation_delay_ms,
 )
+from repro.obs import metrics, trace
 from repro.util import artifact_cache
 from repro.util.parallel import parallel_map, partition, resolve_jobs
 
@@ -169,6 +170,39 @@ class TestArtifactCache:
         assert artifact_cache.artifact_key("a", 1) != artifact_cache.artifact_key("b", 1)
         assert artifact_cache.artifact_key("a", 1) != artifact_cache.artifact_key("a", 2)
         assert artifact_cache.artifact_key("a", 1) == artifact_cache.artifact_key("a", 1)
+
+
+class TestObservabilityTransparency:
+    """Tracing and metrics must be invisible in every result payload."""
+
+    def test_campaign_identical_with_tracing_on(self, small_study):
+        baseline = _run_campaign(small_study, small_study.forwarder)
+        trace.set_enabled(True)
+        trace.reset()
+        try:
+            traced = _run_campaign(small_study, small_study.forwarder)
+        finally:
+            trace.set_enabled(False)
+            trace.reset()
+        assert traced.ndt_records == baseline.ndt_records
+        assert traced.traceroute_records == baseline.traceroute_records
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_coverage_identical_with_tracing_and_metrics_off(self, small_study, jobs):
+        with_obs = collect_coverage_reports(small_study, alexa_count=80, jobs=jobs)
+        trace.set_enabled(True)
+        trace.reset()
+        metrics.set_enabled(False)
+        try:
+            # Tracing on but metrics forced off — the wrapper's other half.
+            without_metrics = collect_coverage_reports(
+                small_study, alexa_count=80, jobs=jobs
+            )
+        finally:
+            metrics.set_enabled(None)
+            trace.set_enabled(False)
+            trace.reset()
+        assert without_metrics == with_obs
 
 
 class TestParallelMapPrimitive:
