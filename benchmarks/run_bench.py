@@ -16,10 +16,20 @@ benchmark campaign is replayed with the metrics registry collecting
 the run **fails** if the overhead exceeds 3 %. The observability
 numbers are written to ``BENCH_PR2.json``.
 
+The batch-engine suite (``BENCH_PR3.json``) measures what vectorized
+flow evaluation buys on top of the PR1 fast path: a µbench of
+``observe_batch`` against the sequential ``observe`` loop over the same
+requests, the campaign and fig5 sweeps that now dispatch TCP work in
+blocks, and full-scale fig2 in a fresh interpreter. Speedups are
+computed against the medians recorded in ``BENCH_PR1.json`` on the same
+machine, and the run **fails** unless campaign_bench improved ≥2x and
+fig2_full_serial ≥1.5x.
+
 Run via ``make bench`` or::
 
     PYTHONPATH=src python benchmarks/run_bench.py
     PYTHONPATH=src python benchmarks/run_bench.py --obs-only   # just the overhead gate
+    PYTHONPATH=src python benchmarks/run_bench.py --pr3-only   # just the batch-engine suite
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import random
 import statistics
 import subprocess
 import sys
@@ -39,6 +50,9 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.coverage import collect_coverage_reports  # noqa: E402
 from repro.core.pipeline import build_study, clear_study_cache  # noqa: E402
+from repro.experiments.common import analyze_campaign  # noqa: E402
+from repro.experiments.fig5_diurnal import FIG5_CAMPAIGN  # noqa: E402
+from repro.net.batch import ObserveRequest  # noqa: E402
 from repro.obs import metrics  # noqa: E402
 from repro.platforms.campaign import run_ndt_campaign  # noqa: E402
 from repro.util import artifact_cache  # noqa: E402
@@ -55,9 +69,22 @@ SEED_BASELINES_S = {
 
 OUTPUT = REPO_ROOT / "BENCH_PR1.json"
 OBS_OUTPUT = REPO_ROOT / "BENCH_PR2.json"
+PR3_OUTPUT = REPO_ROOT / "BENCH_PR3.json"
 
 #: Hard ceiling on what metrics collection may cost the hot path.
 OBS_OVERHEAD_LIMIT = 0.03
+
+#: Medians recorded in BENCH_PR1.json on this machine, used as the
+#: fallback baseline when that file is absent (fresh clone).
+PR1_BASELINES_S = {
+    "campaign_bench": 1.689,
+    "build_study_bench": 0.305,
+    "fig2_full_serial": 15.974,
+    "fig2_full_jobs4": 18.706,
+}
+
+#: Minimum speedups the batch engine must deliver over BENCH_PR1.
+PR3_GATES = {"campaign_bench": 2.0, "fig2_full_serial": 1.5}
 
 
 def _timed(func, repeats: int) -> list[float]:
@@ -161,6 +188,156 @@ def bench_obs_overhead(repeats: int = 5) -> dict[str, object]:
     }
 
 
+def _observe_requests(study, count: int = 6000) -> list[ObserveRequest]:
+    """A fixed randomized request mix over real routed paths."""
+    rng = random.Random(1234)
+    clients = study.population.all_clients()
+    servers = study.mlab.servers()
+    requests: list[ObserveRequest] = []
+    attempt = 0
+    while len(requests) < count and attempt < count * 3:
+        attempt += 1
+        client = rng.choice(clients)
+        server = rng.choice(servers)
+        path = study.forwarder.route_flow(
+            client.asn, client.city, server.asn, server.city, ("bench", attempt)
+        )
+        if path is None:
+            continue
+        requests.append(
+            ObserveRequest(
+                path=path,
+                hour=rng.uniform(0.0, 24.0),
+                access_rate_bps=client.plan_rate_bps,
+                home_factor=client.base_home_factor,
+            )
+        )
+    return requests
+
+
+def bench_tcp_observe(repeats: int = 5, count: int = 6000) -> dict[str, object]:
+    """``observe_batch`` vs the equivalent sequential ``observe`` loop.
+
+    Both paths evaluate the identical request list from identically
+    reseeded models (so they produce byte-identical observations); the
+    difference is purely link-table reuse + vectorized arithmetic vs
+    per-call scalar evaluation.
+    """
+    study = build_study(BENCH_STUDY_CONFIG)
+    requests = _observe_requests(study, count)
+    scalar_runs: list[float] = []
+    batch_runs: list[float] = []
+    for _ in range(repeats):
+        model = study.tcp.reseeded(3)
+        start = time.perf_counter()
+        for request in requests:
+            model.observe_request(request)
+        scalar_runs.append(round(time.perf_counter() - start, 4))
+        model = study.tcp.reseeded(3)
+        start = time.perf_counter()
+        model.observe_batch(requests)
+        batch_runs.append(round(time.perf_counter() - start, 4))
+    scalar_median = round(statistics.median(scalar_runs), 4)
+    batch_median = round(statistics.median(batch_runs), 4)
+    return {
+        "requests": len(requests),
+        "scalar_runs_s": scalar_runs,
+        "batch_runs_s": batch_runs,
+        "scalar_median_s": scalar_median,
+        "batch_median_s": batch_median,
+        "batch_speedup": round(scalar_median / batch_median, 2) if batch_median else None,
+    }
+
+
+def bench_fig5_sweep(repeats: int = 2) -> list[float]:
+    """The fig5 heavy step, uncached: 24k-test campaign + matching + MAP-IT."""
+    study = build_study(BENCH_STUDY_CONFIG)
+
+    def sweep():
+        analyze_campaign(study, FIG5_CAMPAIGN)
+
+    return _timed(sweep, repeats)
+
+
+def _pr1_medians() -> dict[str, float]:
+    """BENCH_PR1 medians for the speedup denominator (file, else snapshot)."""
+    try:
+        data = json.loads(OUTPUT.read_text())
+        return {
+            name: entry["median_s"]
+            for name, entry in data["benchmarks"].items()
+            if isinstance(entry, dict) and entry.get("median_s")
+        }
+    except (OSError, ValueError, KeyError):
+        return dict(PR1_BASELINES_S)
+
+
+def run_pr3_suite() -> int:
+    """Batch-engine benchmarks: write BENCH_PR3.json, gate on the speedups."""
+    artifact_cache.set_enabled(False)
+    results: dict[str, dict] = {}
+    suite_start = time.perf_counter()
+    try:
+        observe = bench_tcp_observe()
+        results["tcp_observe_bench"] = observe
+        print(
+            f"tcp_observe_bench: scalar {observe['scalar_median_s']}s vs "
+            f"batch {observe['batch_median_s']}s over {observe['requests']} requests "
+            f"({observe['batch_speedup']}x)"
+        )
+        for name, runs in (
+            ("build_study_bench", bench_build_study()),
+            ("campaign_bench", bench_campaign()),
+            ("fig5_sweep_bench", bench_fig5_sweep()),
+            ("fig2_full_serial", bench_fig2_subprocess(jobs=None)),
+            ("fig2_full_jobs4", bench_fig2_subprocess(jobs=4)),
+        ):
+            median = round(statistics.median(runs), 3)
+            results[name] = {"runs_s": runs, "median_s": median}
+            print(f"{name}: median {median}s over {len(runs)} run(s) {runs}")
+    finally:
+        artifact_cache.set_enabled(None)
+
+    pr1 = _pr1_medians()
+    speedups = {
+        name: round(pr1[name] / results[name]["median_s"], 2)
+        for name in ("build_study_bench", "campaign_bench", "fig2_full_serial", "fig2_full_jobs4")
+        if pr1.get(name) and results.get(name, {}).get("median_s")
+    }
+    gates = {
+        name: {
+            "required_speedup": required,
+            "measured_speedup": speedups.get(name),
+            "passed": bool(speedups.get(name) and speedups[name] >= required),
+        }
+        for name, required in PR3_GATES.items()
+    }
+    report = {
+        "machine": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+        "study_config": repr(BENCH_STUDY_CONFIG),
+        "campaign_config": repr(BENCH_CAMPAIGN),
+        "fig5_campaign_config": repr(FIG5_CAMPAIGN),
+        "pr1_baseline_medians_s": pr1,
+        "benchmarks": results,
+        "speedups_vs_pr1": speedups,
+        "gates": gates,
+        "suite_wall_s": round(time.perf_counter() - suite_start, 3),
+    }
+    PR3_OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {PR3_OUTPUT}")
+    for name, factor in speedups.items():
+        print(f"  {name}: {factor}x vs BENCH_PR1")
+    failed = [name for name, gate in gates.items() if not gate["passed"]]
+    if failed:
+        print(f"FAIL: speedup gate(s) not met: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def run_obs_gate() -> int:
     """Measure observability overhead, write BENCH_PR2.json, gate at 3 %."""
     artifact_cache.set_enabled(False)
@@ -193,6 +370,8 @@ def run_obs_gate() -> int:
 def main() -> int:
     if "--obs-only" in sys.argv[1:]:
         return run_obs_gate()
+    if "--pr3-only" in sys.argv[1:]:
+        return run_pr3_suite()
     artifact_cache.set_enabled(False)
     results: dict[str, dict] = {}
 
@@ -244,7 +423,8 @@ def main() -> int:
     print(f"\nwrote {OUTPUT}")
     for name, factor in speedups.items():
         print(f"  {name}: {factor}x vs seed")
-    return run_obs_gate()
+    status = run_obs_gate()
+    return status or run_pr3_suite()
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from repro.core.matching import match_ndt_to_traceroutes
 from repro.core.pipeline import Study, StudyConfig, build_study
 from repro.inference.mapit import MapIt, MapItConfig, MapItResult
 from repro.measurement.records import NDTRecord, TracerouteRecord
+from repro.net.batch import ObserveRequest
 from repro.obs import flowprobe
 from repro.obs.log import get_logger
 from repro.obs.trace import span
@@ -147,7 +148,7 @@ def probe_exemplar_flows(
         _log.warning("no %s-hosted servers to probe against", server_org)
         return 0
     tcp = study.tcp.reseeded(10_007)  # private stream; shared RNG untouched
-    recorded = 0
+    requests = []
     for org in client_orgs:
         clients = study.population.clients_of(org)
         if not clients:
@@ -164,15 +165,20 @@ def probe_exemplar_flows(
             key = f"{label}:{server_org}->{org}@{hour:04.1f}h"
             if not probe.wants(key):
                 continue
-            tcp.observe(
-                path,
-                hour=hour,
-                access_rate_bps=client.plan_rate_bps,
-                home_factor=client.base_home_factor,
-                with_noise=False,
-                probe_key=key,
+            requests.append(
+                ObserveRequest(
+                    path=path,
+                    hour=hour,
+                    access_rate_bps=client.plan_rate_bps,
+                    home_factor=client.base_home_factor,
+                    with_noise=False,
+                    probe_key=key,
+                )
             )
-            recorded += 1
+    # One batched dispatch; with noise off there is no stream to preserve,
+    # and the probe recorder sees the same series in the same order.
+    tcp.observe_batch(requests)
+    recorded = len(requests)
     _log.info("recorded %d exemplar flow-probe series (%s)", recorded, label)
     return recorded
 

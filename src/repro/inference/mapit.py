@@ -42,6 +42,14 @@ from repro.topology.asgraph import ASGraph
 
 _log = get_logger(__name__)
 
+#: Sentinel distinguishing "not memoized" from a memoized None origin.
+_MISSING = object()
+
+#: Shared read-only default for interfaces with no adjacency evidence —
+#: never mutated, so one instance can serve every lookup miss.
+_EMPTY_COUNTER: Counter[int] = Counter()
+
+
 def _same_ptp_subnet(a: int, b: int) -> bool:
     """True when two addresses form a point-to-point pair.
 
@@ -136,6 +144,28 @@ class MapIt:
         self._oracle = oracle
         self._graph = graph
         self._config = config if config is not None else MapItConfig()
+        # Per-instance memos over the (immutable) oracle and graph. The
+        # origin lookup is a longest-prefix match and the plausibility
+        # test scans sibling pairs; both repeat heavily across passes.
+        self._origin_memo: dict[int, int | None] = {}
+        self._ixp_memo: dict[int, bool] = {}
+        self._plausible_memo: dict[tuple[int, int | None], bool] = {}
+
+    def _origin(self, ip: int) -> int | None:
+        memo = self._origin_memo
+        val = memo.get(ip, _MISSING)
+        if val is _MISSING:
+            val = self._oracle.origin(ip)
+            memo[ip] = val
+        return val
+
+    def _is_ixp(self, ip: int) -> bool:
+        memo = self._ixp_memo
+        val = memo.get(ip)
+        if val is None:
+            val = self._oracle.is_ixp(ip)
+            memo[ip] = val
+        return val
 
     # ------------------------------------------------------------------
 
@@ -161,20 +191,33 @@ class MapIt:
 
         interfaces = sorted(set(succs) | set(preds))
         ownership: dict[int, int | None] = {
-            ip: self._oracle.origin(ip) for ip in interfaces
+            ip: self._origin(ip) for ip in interfaces
         }
 
+        # Dirty-set refinement: a proposal for ``ip`` depends only on
+        # ``ownership[ip]``, its fixed neighbor multisets, and the
+        # ownership of those neighbors. An interface none of whose inputs
+        # changed in the previous pass would re-propose exactly what it
+        # proposed before (nothing — otherwise it would have flipped), so
+        # after the first full pass only interfaces adjacent to a flip
+        # need re-examination. Proposals are collected against the
+        # previous pass's ownership snapshot, so iteration order over the
+        # (unordered) dirty set cannot affect the outcome.
         passes = 0
         total_flips = 0
         flip_counts: Counter[int] = Counter()
+        dirty: set[int] | None = None  # None = examine everything
+        is_ixp = self._is_ixp
+        propose = self._propose
+        max_flips = self._config.max_flips_per_interface
         for passes in range(1, self._config.max_passes + 1):
             proposals: dict[int, int] = {}
-            for ip in interfaces:
-                if self._oracle.is_ixp(ip):
+            for ip in (interfaces if dirty is None else dirty):
+                if is_ixp(ip):
                     continue  # IXP addresses stay unowned
-                if flip_counts[ip] >= self._config.max_flips_per_interface:
+                if flip_counts and flip_counts[ip] >= max_flips:
                     continue  # frozen: repeated flipping signals ambiguity
-                proposal = self._propose(ip, ownership, preds, succs)
+                proposal = propose(ip, ownership, preds, succs)
                 if proposal is not None and proposal != ownership[ip]:
                     proposals[ip] = proposal
             if not proposals:
@@ -182,6 +225,11 @@ class MapIt:
             ownership.update(proposals)
             flip_counts.update(proposals.keys())
             total_flips += len(proposals)
+            dirty = set()
+            for flipped in proposals:
+                dirty.add(flipped)
+                dirty.update(succs.get(flipped, ()))
+                dirty.update(preds.get(flipped, ()))
 
         links = self._extract_links(traces, pair_counts, ownership)
         _log.info(
@@ -202,16 +250,23 @@ class MapIt:
         Weighted by observation count: a third-party artifact seen once
         must not cancel the interface a link's probes normally reveal.
         """
-        counts: Counter[int] = Counter()
+        counts: dict[int, int] = {}
         total = 0
+        ownership_get = ownership.get
         for ip, weight in neighbors.items():
-            owner = ownership.get(ip)
+            owner = ownership_get(ip)
             if owner is None:
                 continue
-            counts[owner] += weight
+            counts[owner] = counts.get(owner, 0) + weight
             total += weight
         if total == 0:
             return None, 0.0
+        if len(counts) == 1:
+            # Unanimous neighborhood — the overwhelmingly common case.
+            owner, count = counts.popitem()
+            return owner, count / total
+        # Tie-break on the smallest owner ASN: a pure function of the
+        # count map, so the winner never depends on insertion order.
         owner, count = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))
         return owner, count / total
 
@@ -226,7 +281,7 @@ class MapIt:
         for other in neighbors:
             if other == ip:
                 continue
-            if _same_ptp_subnet(ip, other) and self._oracle.origin(other) == origin:
+            if _same_ptp_subnet(ip, other) and self._origin(other) == origin:
                 return True
         return False
 
@@ -237,18 +292,17 @@ class MapIt:
         preds: dict[int, Counter[int]],
         succs: dict[int, Counter[int]],
     ) -> int | None:
-        origin = self._oracle.origin(ip)
-        current = ownership[ip]
-        pred_set = preds.get(ip, Counter())
-        succ_set = succs.get(ip, Counter())
-        pred_major, pred_frac = self._majority(pred_set, ownership)
-        succ_major, succ_frac = self._majority(succ_set, ownership)
         threshold = self._config.majority_threshold
-        strong_pred = pred_major is not None and pred_frac > threshold
-        strong_succ = succ_major is not None and succ_frac > threshold
-
-        if not (strong_pred and strong_succ):
+        pred_set = preds.get(ip, _EMPTY_COUNTER)
+        pred_major, pred_frac = self._majority(pred_set, ownership)
+        if pred_major is None or pred_frac <= threshold:
+            return None  # both directions must be strong; skip the succ tally
+        succ_set = succs.get(ip, _EMPTY_COUNTER)
+        succ_major, succ_frac = self._majority(succ_set, ownership)
+        if succ_major is None or succ_frac <= threshold:
             return None
+        origin = self._origin(ip)
+        current = ownership[ip]
 
         # Agreement rule — both directions point at the same owner.
         if pred_major == succ_major:
@@ -284,13 +338,23 @@ class MapIt:
         """
         if self._graph is None or origin is None or candidate == origin:
             return True
+        key = (candidate, origin)
+        cached = self._plausible_memo.get(key)
+        if cached is not None:
+            return cached
+        verdict = False
         if self._oracle.same_org(candidate, origin):
-            return True
-        for a in self._oracle.org_members(candidate):
-            for b in self._oracle.org_members(origin):
-                if self._graph.relationship(a, b) is not None:
-                    return True
-        return False
+            verdict = True
+        else:
+            for a in self._oracle.org_members(candidate):
+                for b in self._oracle.org_members(origin):
+                    if self._graph.relationship(a, b) is not None:
+                        verdict = True
+                        break
+                if verdict:
+                    break
+        self._plausible_memo[key] = verdict
+        return verdict
 
     # ------------------------------------------------------------------
 
@@ -322,6 +386,8 @@ class MapIt:
         # Collapse IXP-addressed runs: known(A) → ixp... → known(B). A
         # non-response resets the run — evidence must be gap-free here too.
         ixp_triples: Counter[tuple[int, int, int, int]] = Counter()
+        is_ixp = self._is_ixp
+        ownership_get = ownership.get
         for trace in traces:
             run_start: int | None = None
             first_ixp: int | None = None
@@ -332,14 +398,14 @@ class MapIt:
                     first_ixp = None
                     last_ixp = None
                     continue
-                if self._oracle.is_ixp(ip):
+                if is_ixp(ip):
                     if first_ixp is None:
                         first_ixp = ip
                     last_ixp = ip
                     continue
-                owner = ownership.get(ip)
+                owner = ownership_get(ip)
                 if first_ixp is not None and run_start is not None and owner is not None:
-                    prev_owner = ownership.get(run_start)
+                    prev_owner = ownership_get(run_start)
                     if prev_owner is not None and prev_owner != owner:
                         ixp_triples[(first_ixp, last_ixp, prev_owner, owner)] += 1
                 first_ixp = None

@@ -5,6 +5,14 @@ client over the server→client forwarding path, through the TCP model. The
 runner does not decide *when* tests happen or *which* server is used —
 that is platform policy (:mod:`repro.platforms.mlab`); it only executes a
 test and emits the record.
+
+Execution is split into *plan* and *complete* so callers can batch the
+TCP evaluations: :meth:`NDTRunner.plan` routes the flow(s) and assigns
+the test id, :meth:`NDTRunner.complete` turns the TCP observations back
+into an :class:`NDTRecord`. Routing consumes no randomness, so planning
+ahead of evaluation leaves every RNG stream's draw order untouched;
+:meth:`NDTRunner.run` (plan → observe → complete in one call) is
+byte-identical to the historical single-shot implementation.
 """
 
 from __future__ import annotations
@@ -12,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.measurement.records import NDTRecord
-from repro.net.tcp import TCPModel
+from repro.net.batch import ObserveRequest
+from repro.net.tcp import PathObservation, TCPModel
 from repro.obs import flowprobe
 from repro.routing.forwarding import Forwarder, ForwardingPath
 
@@ -49,6 +58,25 @@ class ServerEndpoint:
     city: str
 
 
+@dataclass(frozen=True)
+class PlannedTest:
+    """A routed NDT test awaiting its TCP evaluation(s).
+
+    ``requests`` holds the download request and, when the client measures
+    upstream and the reverse path routes, the upload request — in the
+    order their noise draws must be consumed.
+    """
+
+    test_id: int
+    client: ClientEndpoint
+    server: ServerEndpoint
+    timestamp_s: float
+    local_hour: float
+    path: ForwardingPath
+    requests: tuple[ObserveRequest, ...]
+    has_upload: bool
+
+
 class NDTRunner:
     """Executes NDT downloads over an Internet + link-state instance."""
 
@@ -56,6 +84,105 @@ class NDTRunner:
         self._forwarder = forwarder
         self._tcp = tcp
         self._next_test_id = 1
+
+    def plan(
+        self,
+        client: ClientEndpoint,
+        server: ServerEndpoint,
+        timestamp_s: float,
+        local_hour: float,
+    ) -> PlannedTest | None:
+        """Route one test and claim its id; None when the client is unreachable.
+
+        A test id is consumed only when the download path routes — the
+        same rule the single-shot path always had.
+        """
+        test_id = self._next_test_id
+        flow_key = ("ndt", test_id, server.server_id, client.ip)
+        path = self._forwarder.route_flow(
+            server.asn, server.city, client.asn, client.city, flow_key
+        )
+        if path is None:
+            return None
+        # Flow probing is opt-in; the key is only built when a recorder
+        # is active so the default path stays allocation-free.
+        probe_key = (
+            ("ndt", client.org_name, test_id)
+            if flowprobe.active() is not None
+            else None
+        )
+        requests = [
+            ObserveRequest(
+                path=path,
+                hour=local_hour,
+                access_rate_bps=client.plan_rate_bps,
+                home_factor=client.home_factor,
+                access_loss=client.access_loss,
+                probe_key=probe_key,
+            )
+        ]
+        has_upload = False
+        if client.upload_rate_bps > 0:
+            # Upstream phase: client → server over the *client's* best path
+            # (forward/reverse routes can differ — §5.1's asymmetry caveat).
+            upstream_path = self._forwarder.route_flow(
+                client.asn, client.city, server.asn, server.city,
+                ("ndt-up", *flow_key[1:]),
+            )
+            if upstream_path is not None:
+                has_upload = True
+                requests.append(
+                    ObserveRequest(
+                        path=upstream_path,
+                        hour=local_hour,
+                        access_rate_bps=client.upload_rate_bps,
+                        home_factor=client.home_factor,
+                        access_loss=client.access_loss,
+                    )
+                )
+        self._next_test_id += 1
+        return PlannedTest(
+            test_id=test_id,
+            client=client,
+            server=server,
+            timestamp_s=timestamp_s,
+            local_hour=local_hour,
+            path=path,
+            requests=tuple(requests),
+            has_upload=has_upload,
+        )
+
+    def complete(
+        self, planned: PlannedTest, observations: list[PathObservation]
+    ) -> tuple[NDTRecord, ForwardingPath]:
+        """Assemble the record from a planned test's TCP observations."""
+        observation = observations[0]
+        upload_bps = observations[1].throughput_bps if planned.has_upload else 0.0
+        client = planned.client
+        server = planned.server
+        record = NDTRecord(
+            test_id=planned.test_id,
+            timestamp_s=planned.timestamp_s,
+            local_hour=planned.local_hour,
+            client_ip=client.ip,
+            server_id=server.server_id,
+            server_ip=server.ip,
+            server_asn=server.asn,
+            server_city=server.city,
+            download_bps=observation.throughput_bps,
+            rtt_ms=observation.rtt_ms,
+            retx_rate=observation.retx_rate,
+            congestion_signals=observation.congestion_signals,
+            gt_client_asn=client.asn,
+            gt_client_org=client.org_name,
+            gt_crossed_links=planned.path.crossed_links,
+            gt_bottleneck_link=observation.bottleneck_link_id,
+            gt_bottleneck_kind=observation.bottleneck_kind,
+            rtt_min_ms=observation.rtt_min_ms,
+            rtt_max_ms=observation.rtt_max_ms,
+            upload_bps=upload_bps,
+        )
+        return record, planned.path
 
     def run(
         self,
@@ -71,65 +198,8 @@ class NDTRunner:
         Paris traceroute (with its own flow key, hence possibly a different
         ECMP member).
         """
-        flow_key = ("ndt", self._next_test_id, server.server_id, client.ip)
-        path = self._forwarder.route_flow(
-            server.asn, server.city, client.asn, client.city, flow_key
-        )
-        if path is None:
+        planned = self.plan(client, server, timestamp_s, local_hour)
+        if planned is None:
             return None
-        # Flow probing is opt-in; the key is only built when a recorder
-        # is active so the default path stays allocation-free.
-        probe_key = (
-            ("ndt", client.org_name, self._next_test_id)
-            if flowprobe.active() is not None
-            else None
-        )
-        observation = self._tcp.observe(
-            path,
-            hour=local_hour,
-            access_rate_bps=client.plan_rate_bps,
-            home_factor=client.home_factor,
-            access_loss=client.access_loss,
-            probe_key=probe_key,
-        )
-        # Upstream phase: client → server over the *client's* best path
-        # (forward/reverse routes can differ — §5.1's asymmetry caveat).
-        upload_bps = 0.0
-        if client.upload_rate_bps > 0:
-            upstream_path = self._forwarder.route_flow(
-                client.asn, client.city, server.asn, server.city,
-                ("ndt-up", *flow_key[1:]),
-            )
-            if upstream_path is not None:
-                upstream = self._tcp.observe(
-                    upstream_path,
-                    hour=local_hour,
-                    access_rate_bps=client.upload_rate_bps,
-                    home_factor=client.home_factor,
-                    access_loss=client.access_loss,
-                )
-                upload_bps = upstream.throughput_bps
-        record = NDTRecord(
-            test_id=self._next_test_id,
-            timestamp_s=timestamp_s,
-            local_hour=local_hour,
-            client_ip=client.ip,
-            server_id=server.server_id,
-            server_ip=server.ip,
-            server_asn=server.asn,
-            server_city=server.city,
-            download_bps=observation.throughput_bps,
-            rtt_ms=observation.rtt_ms,
-            retx_rate=observation.retx_rate,
-            congestion_signals=observation.congestion_signals,
-            gt_client_asn=client.asn,
-            gt_client_org=client.org_name,
-            gt_crossed_links=path.crossed_links,
-            gt_bottleneck_link=observation.bottleneck_link_id,
-            gt_bottleneck_kind=observation.bottleneck_kind,
-            rtt_min_ms=observation.rtt_min_ms,
-            rtt_max_ms=observation.rtt_max_ms,
-            upload_bps=upload_bps,
-        )
-        self._next_test_id += 1
-        return record, path
+        observations = [self._tcp.observe_request(r) for r in planned.requests]
+        return self.complete(planned, observations)

@@ -10,6 +10,7 @@ the ``gt_`` fields).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.util.units import MBPS
 
@@ -55,9 +56,14 @@ class NDTRecord:
         return self.upload_bps / MBPS
 
 
-@dataclass(frozen=True)
-class TraceHop:
-    """One TTL step of a traceroute. ``ip`` is None for a non-response (*)."""
+class TraceHop(NamedTuple):
+    """One TTL step of a traceroute. ``ip`` is None for a non-response (*).
+
+    A NamedTuple rather than a frozen dataclass: traceroute rendering
+    builds hundreds of thousands of these per sweep and tuple construction
+    skips the per-field ``object.__setattr__`` a frozen dataclass pays.
+    Field access, repr format, equality, and pickling are unchanged.
+    """
 
     ttl: int
     ip: int | None
@@ -90,7 +96,9 @@ class TracerouteRecord:
         adjacency evidence (a last-router→host pair looks like an AS
         boundary whenever the two sit in different prefixes).
         """
-        hops = list(self.hops)
+        hops = self.hops
         if self.reached_destination and hops and hops[-1].ip == self.dst_ip:
             hops = hops[:-1]
-        return [hop.ip for hop in hops]
+        # hop[1] is TraceHop.ip — plain tuple indexing, because this runs
+        # per trace in every border-inference sweep.
+        return [hop[1] for hop in hops]

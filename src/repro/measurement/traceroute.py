@@ -50,6 +50,13 @@ class TracerouteConfig:
 class TracerouteEngine:
     """Produces :class:`TracerouteRecord` objects over an Internet instance."""
 
+    #: Shared silent-router verdicts, keyed (seed, fraction). The coin is
+    #: a pure function of (seed, router_id) — engines only differ in how
+    #: they compare it to their fraction — so the sha256-seeded derivation
+    #: is done once per world even when parallel per-VP fan-out builds
+    #: many engine instances over the same seed.
+    _silence_verdicts: dict[tuple[int, float], dict[int, bool]] = {}
+
     def __init__(
         self,
         internet: Internet,
@@ -70,8 +77,9 @@ class TracerouteEngine:
             self._rng = derive_random(self._config.seed, "traceroute")
         else:
             self._rng = derive_random(self._config.seed, "traceroute", stream)
-        self._silent_routers: set[int] = set()
-        self._silence_decided: set[int] = set()
+        self._silence = self._silence_verdicts.setdefault(
+            (self._config.seed, self._config.silent_router_fraction), {}
+        )
         self._next_trace_id = 1
 
     # ------------------------------------------------------------------
@@ -103,7 +111,18 @@ class TracerouteEngine:
     ) -> TracerouteRecord:
         """Render an already-computed forwarding path as a traceroute."""
         config = self._config
+        # Bind the hot names once; the draw sequence below is part of the
+        # determinism contract (silent-router short-circuits the transient
+        # draw, third-party only draws for responsive hops) and must not
+        # be reordered.
+        rng_random = self._rng.random
+        silence = self._silence
+        router_is_silent = self._router_is_silent
+        transient_loss_prob = config.transient_loss_prob
+        third_party_prob = config.third_party_prob
+        rtt_jitter_ms = config.rtt_jitter_ms
         hops: list[TraceHop] = []
+        hops_append = hops.append
         cumulative_ms = 1.0
         previous_city = path.hops[0].city_code if path.hops else dst_city
         for ttl, hop in enumerate(path.hops, start=1):
@@ -113,27 +132,29 @@ class TracerouteEngine:
                 )
                 previous_city = hop.city_code
             reply_ip: int | None = hop.reply_ip
-            if self._router_is_silent(hop.router_id) or self._rng.random() < config.transient_loss_prob:
+            silent = silence.get(hop.router_id)
+            if silent is None:
+                silent = router_is_silent(hop.router_id)
+            if silent or rng_random() < transient_loss_prob:
                 reply_ip = None
-            elif self._rng.random() < config.third_party_prob:
+            elif rng_random() < third_party_prob:
                 reply_ip = self._third_party_address(hop.router_id, hop.reply_ip)
             rtt = None
             if reply_ip is not None:
-                rtt = max(0.1, cumulative_ms + self._rng.uniform(-1, 1) * config.rtt_jitter_ms)
-            hops.append(TraceHop(ttl=ttl, ip=reply_ip, rtt_ms=rtt))
+                # Inlined rng.uniform(-1, 1): a + (b - a) * random() with
+                # a=-1, b=1 — bit-identical, minus the method call.
+                rtt = max(0.1, cumulative_ms + (-1 + 2 * rng_random()) * rtt_jitter_ms)
+            hops_append(TraceHop(ttl, reply_ip, rtt))
 
-        reached = self._rng.random() < config.destination_responds_prob
+        reached = rng_random() < config.destination_responds_prob
         if reached:
             if previous_city != dst_city:
                 cumulative_ms += 2.0 * propagation_delay_by_code_ms(
                     previous_city, dst_city
                 )
-            hops.append(
-                TraceHop(
-                    ttl=len(hops) + 1,
-                    ip=dst_ip,
-                    rtt_ms=cumulative_ms + self._rng.uniform(0, config.rtt_jitter_ms),
-                )
+            # Inlined rng.uniform(0, jitter): 0 + jitter * random().
+            hops_append(
+                TraceHop(len(hops) + 1, dst_ip, cumulative_ms + rtt_jitter_ms * rng_random())
             )
 
         record = TracerouteRecord(
@@ -153,13 +174,13 @@ class TracerouteEngine:
     # ------------------------------------------------------------------
 
     def _router_is_silent(self, router_id: int) -> bool:
-        if router_id not in self._silence_decided:
-            self._silence_decided.add(router_id)
+        verdict = self._silence.get(router_id)
+        if verdict is None:
             # Stable per-router coin flip, independent of probe order.
             coin = derive_random(self._config.seed, "silent-router", str(router_id))
-            if coin.random() < self._config.silent_router_fraction:
-                self._silent_routers.add(router_id)
-        return router_id in self._silent_routers
+            verdict = coin.random() < self._config.silent_router_fraction
+            self._silence[router_id] = verdict
+        return verdict
 
     def _third_party_address(self, router_id: int, default_ip: int) -> int:
         interfaces = self._internet.fabric.interfaces_of(router_id)

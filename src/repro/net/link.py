@@ -31,6 +31,42 @@ BASE_LOSS = 2.0e-5
 MAX_QUEUE_MS = 60.0
 
 
+# --- pure per-utilization link state -----------------------------------
+#
+# The scalar :class:`LinkParams` methods and the batched
+# :class:`repro.net.batch.LinkTableSet` both evaluate these functions, so
+# one diurnal-profile evaluation per (link group, hour) yields loss,
+# queueing, and available bandwidth without the two code paths ever being
+# able to drift apart — the batch engine's byte-identity contract leans
+# on this sharing.
+
+
+def loss_rate_at(u: float) -> float:
+    """Packet loss probability at offered-load/capacity ``u``.
+
+    Loss stays near the floor until ~90% utilization, then rises steeply;
+    above saturation it grows with the overload.
+    """
+    loss = BASE_LOSS
+    if u > 0.90:
+        loss += 2.0e-3 * ((u - 0.90) / 0.10) ** 2
+    if u > 1.0:
+        loss += 0.03 * (u - 1.0)
+    return min(0.25, loss)
+
+
+def queue_delay_ms_at(u: float) -> float:
+    """Queueing delay contributed by one link at utilization ``u``."""
+    return MAX_QUEUE_MS * min(1.0, u) ** 4
+
+
+def available_bps_at(u: float, capacity_bps: float) -> float:
+    """Bandwidth a well-behaved new flow can claim at utilization ``u``."""
+    if u <= 1.0:
+        return capacity_bps * max(0.05, 1.0 - u)
+    return capacity_bps * 0.05 / u
+
+
 @dataclass(frozen=True)
 class CongestionDirective:
     """Declares interconnects between two orgs congested at peak.
@@ -63,22 +99,14 @@ class LinkParams:
     def loss_rate(self, hour: float) -> float:
         """Packet loss probability for a new flow at a local hour.
 
-        Loss stays near the floor until ~90% utilization, then rises
-        steeply; above saturation it grows with the overload, which is
-        what collapses TCP throughput at peak on congested links.
+        The steep post-90% rise (:func:`loss_rate_at`) is what collapses
+        TCP throughput at peak on congested links.
         """
-        u = self.utilization(hour)
-        loss = BASE_LOSS
-        if u > 0.90:
-            loss += 2.0e-3 * ((u - 0.90) / 0.10) ** 2
-        if u > 1.0:
-            loss += 0.03 * (u - 1.0)
-        return min(0.25, loss)
+        return loss_rate_at(self.utilization(hour))
 
     def queue_delay_ms(self, hour: float) -> float:
         """Queueing delay contributed by this link at a local hour."""
-        u = min(1.0, self.utilization(hour))
-        return MAX_QUEUE_MS * u**4
+        return queue_delay_ms_at(self.utilization(hour))
 
     def available_bps(self, hour: float) -> float:
         """Bandwidth a well-behaved new flow can expect to claim.
@@ -88,10 +116,7 @@ class LinkParams:
         saturated link the fair share collapses toward
         capacity / offered-load flows.
         """
-        u = self.utilization(hour)
-        if u <= 1.0:
-            return self.capacity_bps * max(0.05, 1.0 - u)
-        return self.capacity_bps * 0.05 / u
+        return available_bps_at(self.utilization(hour), self.capacity_bps)
 
 
 @dataclass(frozen=True)
@@ -135,6 +160,10 @@ class LinkNetwork:
             return self._params[link_id]
         except KeyError:
             raise KeyError(f"link {link_id} was never provisioned") from None
+
+    def param_map(self) -> dict[int, LinkParams]:
+        """Read-only view of every provisioned link (batch-engine hook)."""
+        return self._params
 
     def congested_link_ids(self) -> set[int]:
         """Ground truth congested set (for validation only)."""

@@ -21,7 +21,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
+import numpy as np
+
+from repro.net.batch import LinkTableSet, ObserveRequest
 from repro.net.link import BASE_LOSS, LinkNetwork
 from repro.obs import flowprobe, metrics
 from repro.routing.forwarding import ForwardingPath
@@ -34,6 +38,38 @@ _SIGNALS = metrics.counter("tcp.congestion_signals")
 #: "Timeouts": flows whose loss/RTT ceiling collapsed them to the record
 #: floor — the regime where a real NDT transfer stalls on RTOs.
 _TIMEOUTS = metrics.counter("tcp.timeout_floor_flows")
+_BATCHES = metrics.counter("tcp.batch.batches")
+_BATCH_SIZE = metrics.histogram("tcp.batch.requests")
+_PATH_STATIC_HITS = metrics.counter("tcp.batch.path_static_hits")
+
+#: Bottleneck tie-break priority, shared by the scalar and batched paths.
+#: When two or more ceilings are exactly equal (commonest when the noise-
+#: free throughput hits the plan rate and an equally-provisioned
+#: interconnect at once), the *earlier* kind in this tuple wins: an
+#: access-limited verdict beats interconnect, which beats latency. The
+#: scalar chain of ``==`` checks used this order implicitly; it is now a
+#: documented contract because ground-truth bottleneck labels feed the
+#: validation experiments and must not depend on evaluation strategy.
+BOTTLENECK_PRIORITY: tuple[str, ...] = ("access", "interconnect", "latency")
+
+
+def classify_bottleneck(
+    throughput: float,
+    access_ceiling: float,
+    interconnect_ceiling: float,
+    bottleneck_link: int | None,
+) -> tuple[str, int | None]:
+    """Attribute a pre-noise throughput to its binding ceiling.
+
+    Applies :data:`BOTTLENECK_PRIORITY` on exact float equality — the
+    throughput *is* one of the three ceilings (it is their minimum), so
+    the checks are exhaustive and the priority only matters on ties.
+    """
+    if throughput == access_ceiling:
+        return "access", None
+    if throughput == interconnect_ceiling:
+        return "interconnect", bottleneck_link
+    return "latency", None
 
 
 @dataclass(frozen=True)
@@ -89,6 +125,17 @@ class TCPModel:
         self._config = config if config is not None else TCPModelConfig()
         self._seed = seed
         self._rng = derive_random(seed, "tcp-noise")
+        self._tables = LinkTableSet(links)
+        #: id(path) -> (path, base_rtt_ms, crossed_links). The leading
+        #: path reference keeps the key alive (guarding against id()
+        #: recycling) and is identity-checked on every hit.
+        self._path_static_memo: dict[
+            int, tuple[ForwardingPath, float, tuple[int, ...]]
+        ] = {}
+
+    #: Memoized-path cap; forwarding interns paths so real campaigns stay
+    #: far below it, but an adversarial caller should not leak memory.
+    _PATH_MEMO_MAX = 262_144
 
     def reseeded(self, seed: int) -> "TCPModel":
         """A fresh model over the same links with an independent noise stream.
@@ -108,6 +155,20 @@ class TCPModel:
         # Metro-area floor so same-city paths do not read as 0 ms.
         one_way += 0.3 * max(1, len(cities) - 1) * 0.2 + 0.4
         return 2.0 * one_way + self._config.host_overhead_ms
+
+    def _path_static(self, path: ForwardingPath) -> tuple[float, tuple[int, ...]]:
+        """(base_rtt_ms, crossed_links) for a path, memoized by identity."""
+        key = id(path)
+        entry = self._path_static_memo.get(key)
+        if entry is not None and entry[0] is path:
+            _PATH_STATIC_HITS.inc()
+            return entry[1], entry[2]
+        base_ms = self.base_rtt_ms(path)
+        crossed = path.crossed_links
+        if len(self._path_static_memo) >= self._PATH_MEMO_MAX:
+            self._path_static_memo.clear()
+        self._path_static_memo[key] = (path, base_ms, crossed)
+        return base_ms, crossed
 
     def mathis_ceiling_bps(self, rtt_ms: float, loss: float) -> float:
         """Mathis et al. loss/RTT throughput ceiling."""
@@ -135,30 +196,22 @@ class TCPModel:
         from the observation alone, so probing never consumes randomness
         or changes what the transfer observed.
         """
-        standing_ms, transient_ms = self._links.path_queue_split_ms(
-            path.crossed_links, hour
-        )
-        base_ms = self.base_rtt_ms(path)
+        base_ms, crossed = self._path_static(path)
+        standing_ms, transient_ms = self._links.path_queue_split_ms(crossed, hour)
         rtt_ms = base_ms + standing_ms + transient_ms
-        loss = self._links.path_loss(path.crossed_links, hour)
+        loss = self._links.path_loss(crossed, hour)
         loss = 1.0 - (1.0 - loss) * (1.0 - max(0.0, access_loss))
 
         access_ceiling = access_rate_bps * max(0.05, min(1.0, home_factor))
         interconnect_ceiling, bottleneck_link = self._links.path_available_bps(
-            path.crossed_links, hour
+            crossed, hour
         )
         latency_ceiling = self.mathis_ceiling_bps(rtt_ms, loss)
 
         throughput = min(access_ceiling, interconnect_ceiling, latency_ceiling)
-        if throughput == access_ceiling:
-            kind = "access"
-            bottleneck: int | None = None
-        elif throughput == interconnect_ceiling:
-            kind = "interconnect"
-            bottleneck = bottleneck_link
-        else:
-            kind = "latency"
-            bottleneck = None
+        kind, bottleneck = classify_bottleneck(
+            throughput, access_ceiling, interconnect_ceiling, bottleneck_link
+        )
 
         if with_noise:
             noise = math.exp(self._rng.gauss(0.0, self._config.throughput_noise_sigma))
@@ -211,3 +264,173 @@ class TCPModel:
             rtt_min_ms=rtt_min,
             rtt_max_ms=rtt_max,
         )
+
+    def observe_request(self, request: ObserveRequest) -> PathObservation:
+        """Scalar evaluation of one :class:`ObserveRequest`."""
+        return self.observe(
+            request.path,
+            request.hour,
+            request.access_rate_bps,
+            home_factor=request.home_factor,
+            access_loss=request.access_loss,
+            with_noise=request.with_noise,
+            probe_key=request.probe_key,
+        )
+
+    def observe_batch(self, requests: Sequence[ObserveRequest]) -> list[PathObservation]:
+        """Evaluate many transfers at once; byte-identical to ``observe``.
+
+        The contract: ``observe_batch(reqs)`` returns exactly what
+        ``[observe_request(r) for r in reqs]`` would — same floats to the
+        last bit, same noise-stream consumption (gauss then uniform per
+        noisy request, in list order), same metric totals, and flow-probe
+        records emitted in the same order. Link state comes from the
+        model's :class:`~repro.net.batch.LinkTableSet`, which runs the
+        identical scalar per-utilization functions once per (link group,
+        exact hour) instead of four times per transfer; the wide middle of
+        the computation (loss combining, RTT assembly, the three ceilings)
+        is vectorized with numpy element-wise ops that are correctly
+        rounded and therefore bit-equal to the scalar expressions they
+        replace.
+        """
+        n = len(requests)
+        if n == 0:
+            return []
+        _BATCHES.inc()
+        _BATCH_SIZE.observe(float(n))
+
+        cell = self._tables.cell
+        base_l = [0.0] * n
+        standing_l = [0.0] * n
+        transient_l = [0.0] * n
+        loss_l = [0.0] * n
+        aloss_l = [0.0] * n
+        rate_l = [0.0] * n
+        home_l = [0.0] * n
+        inter_l = [0.0] * n
+        bott_l: list[int | None] = [None] * n
+
+        # Pass 1 (scalar): per-path link aggregation, replicating the
+        # exact accumulation order of LinkNetwork.path_loss /
+        # path_queue_split_ms / path_available_bps over cached cells.
+        for i, req in enumerate(requests):
+            base_ms, crossed = self._path_static(req.path)
+            hour = req.hour
+            standing = 0.0
+            transient = 0.0
+            survive = 1.0
+            best = math.inf
+            bottleneck: int | None = None
+            for link_id in crossed:
+                link_loss, delay, has_standing_queue, available = cell(link_id, hour)
+                if has_standing_queue:
+                    standing += delay
+                else:
+                    transient += delay
+                survive *= 1.0 - link_loss
+                if available < best:
+                    best = available
+                    bottleneck = link_id
+            base_l[i] = base_ms
+            standing_l[i] = standing
+            transient_l[i] = transient
+            loss_l[i] = 1.0 - survive
+            aloss_l[i] = req.access_loss
+            rate_l[i] = req.access_rate_bps
+            home_l[i] = req.home_factor
+            inter_l[i] = best
+            bott_l[i] = bottleneck
+
+        # Pass 2 (vector): element-wise ceilings. Every expression is a
+        # literal transcription of the scalar path — order of operations
+        # included — over ops numpy rounds identically to CPython.
+        cfg = self._config
+        base_a = np.asarray(base_l)
+        standing_a = np.asarray(standing_l)
+        rtt_a = (base_a + standing_a) + np.asarray(transient_l)
+        combined_a = 1.0 - (1.0 - np.asarray(loss_l)) * (
+            1.0 - np.maximum(0.0, np.asarray(aloss_l))
+        )
+        access_a = np.asarray(rate_l) * np.maximum(
+            0.05, np.minimum(1.0, np.asarray(home_l))
+        )
+        loss_m = np.maximum(combined_a, BASE_LOSS)
+        rtt_s = np.maximum(1e-4, rtt_a / 1000.0)
+        latency_a = (cfg.mss_bytes * 8.0) / (rtt_s * np.sqrt(2.0 * loss_m / 3.0))
+        thr_a = np.minimum(np.minimum(access_a, np.asarray(inter_l)), latency_a)
+
+        rtt_l = rtt_a.tolist()
+        combined_l = combined_a.tolist()
+        access_cl = access_a.tolist()
+        thr_l = thr_a.tolist()
+
+        # Pass 3 (scalar, in request order): classification, the noise
+        # stream, per-record metrics, probes, and result assembly.
+        rng = self._rng
+        sigma = cfg.throughput_noise_sigma
+        duration = cfg.test_duration_s
+        mss_bits = cfg.mss_bytes * 8.0
+        tff = cfg.transient_floor_fraction
+        probe = flowprobe.active()
+        total_signals = 0
+        floored_count = 0
+        results: list[PathObservation] = []
+        for i, req in enumerate(requests):
+            throughput = thr_l[i]
+            loss = combined_l[i]
+            rtt_ms = rtt_l[i]
+            kind, bottleneck = classify_bottleneck(
+                throughput, access_cl[i], inter_l[i], bott_l[i]
+            )
+            if req.with_noise:
+                noise = math.exp(rng.gauss(0.0, sigma))
+                throughput = min(throughput * noise, req.access_rate_bps)
+            floored = throughput < 10_000.0
+            throughput = max(throughput, 10_000.0)
+            retx = min(0.5, loss * (1.0 + (0.2 * rng.random() if req.with_noise else 0.0)))
+            packets = throughput * duration / mss_bits
+            signals = int(round(retx * packets))
+            total_signals += signals
+            _RETX_RATE.observe(retx)
+            if floored:
+                floored_count += 1
+
+            rtt_min = base_l[i] + standing_l[i] + tff * transient_l[i]
+            self_buffer = cfg.access_buffer_ms if kind == "access" else 2.0
+            rtt_max = rtt_ms + self_buffer
+
+            if probe is not None and req.probe_key is not None and probe.wants(req.probe_key):
+                probe.record(
+                    req.probe_key,
+                    throughput_bps=throughput,
+                    rtt_min_ms=rtt_min,
+                    rtt_max_ms=rtt_max,
+                    access_limited=(kind == "access"),
+                    mss_bytes=cfg.mss_bytes,
+                    duration_s=cfg.test_duration_s,
+                    meta={
+                        "hour": round(req.hour, 2),
+                        "bottleneck": kind,
+                        "loss": round(loss, 5),
+                        "rtt_ms": round(rtt_ms, 3),
+                    },
+                )
+
+            results.append(
+                PathObservation(
+                    throughput_bps=throughput,
+                    rtt_ms=rtt_ms,
+                    retx_rate=retx,
+                    congestion_signals=signals,
+                    bottleneck_link_id=bottleneck,
+                    bottleneck_kind=kind,
+                    rtt_min_ms=rtt_min,
+                    rtt_max_ms=rtt_max,
+                )
+            )
+
+        _FLOWS.inc(n)
+        _SIGNALS.inc(total_signals)
+        if floored_count:
+            _TIMEOUTS.inc(floored_count)
+        return results

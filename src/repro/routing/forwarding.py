@@ -21,8 +21,8 @@ coordinates downstream in :mod:`repro.net`.
 from __future__ import annotations
 
 import zlib
-from collections import OrderedDict
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.obs import metrics
 from repro.routing.bgp import BGPRouting
@@ -36,16 +36,24 @@ _SEG_HITS = metrics.counter("forwarder.segment_cache.hits")
 _SEG_MISSES = metrics.counter("forwarder.segment_cache.misses")
 _ASPATH_HITS = metrics.counter("forwarder.as_path_cache.hits")
 _ASPATH_MISSES = metrics.counter("forwarder.as_path_cache.misses")
+_PATH_HITS = metrics.counter("forwarder.path_cache.hits")
+_PATH_MISSES = metrics.counter("forwarder.path_cache.misses")
+
+#: Cache-miss sentinel for tables whose values may legitimately be None.
+_ABSENT = object()
 
 
-@dataclass(frozen=True)
-class RouterHop:
+class RouterHop(NamedTuple):
     """One router on a forwarding path.
 
     ``reply_ip`` is the interface that answers traceroute probes: the
     ingress interface of the interdomain link for border crossings, or the
     router's core interface otherwise. ``entered_via_link`` is the
     interconnect crossed to reach this router (None inside an AS).
+
+    A NamedTuple for construction speed: path assembly creates several of
+    these per uncached route and tuple construction skips the frozen-
+    dataclass ``object.__setattr__`` per field.
     """
 
     router_id: int
@@ -71,7 +79,7 @@ class ForwardingPath:
 
 def flow_hash(*parts: object) -> int:
     """Stable 32-bit hash of a flow key (no PYTHONHASHSEED dependence)."""
-    text = "|".join(str(p) for p in parts)
+    text = "|".join(map(str, parts))
     return zlib.crc32(text.encode("utf-8"))
 
 
@@ -80,7 +88,7 @@ class Forwarder:
 
     Path *segments* — the per-boundary equally-near interconnect groups,
     the per-(AS, city) core hop, and the per-(AS, city) access-router
-    fan-out — are memoized in a bounded LRU, so repeated client→server
+    fan-out — are memoized in bounded FIFO caches, so repeated client→server
     flows skip re-walking the fabric. The caches hold only inputs to the
     flow-key hash, never its outcome, so cached and uncached routing are
     bit-identical (``segment_cache_size=0`` disables them, which the
@@ -98,17 +106,24 @@ class Forwarder:
         self._distance_cache: dict[tuple[str, str], float] = {}
         self._segment_cache_size = max(0, segment_cache_size)
         #: (current_as, next_as, anchor_city) → equally-nearest interconnects.
-        self._segment_cache: OrderedDict[tuple[int, int, str], tuple[Interconnect, ...]] = (
-            OrderedDict()
-        )
+        #: Bounded caches here evict in insertion (FIFO) order rather than
+        #: LRU: skipping the per-hit reordering is measurably cheaper on
+        #: the route hot path, and eviction policy can never change which
+        #: path a flow gets — only how often it is recomputed.
+        self._segment_cache: dict[tuple[int, int, str], tuple[Interconnect, ...]] = {}
         #: (asn, city) → prebuilt core RouterHop (or None when absent).
         self._core_hop_cache: dict[tuple[int, str], RouterHop | None] = {}
         #: (asn, city) → (router_id, first-interface ip) access candidates.
         self._access_cache: dict[tuple[int, str], tuple[tuple[int, int], ...]] = {}
         #: (src_asn, dst_asn) → AS path tuple (None = unroutable).
-        self._as_path_cache: OrderedDict[tuple[int, int], tuple[int, ...] | None] = (
-            OrderedDict()
-        )
+        self._as_path_cache: dict[tuple[int, int], tuple[int, ...] | None] = {}
+        #: (current_as, next_as, dst_city) → honours-MED coin. The coin is
+        #: a pure crc32 of its key, so memoizing it is free of semantics.
+        self._egress_memo: dict[tuple[int, int, str], bool] = {}
+        #: Fully-resolved flow choices → interned ForwardingPath. Distinct
+        #: flows that hash onto the same links share one path object,
+        #: which downstream identity-keyed memos (TCP base-RTT) exploit.
+        self._path_cache: dict[tuple, ForwardingPath] = {}
 
     @property
     def routing(self) -> BGPRouting:
@@ -120,6 +135,8 @@ class Forwarder:
         self._core_hop_cache.clear()
         self._access_cache.clear()
         self._as_path_cache.clear()
+        self._egress_memo.clear()
+        self._path_cache.clear()
 
     def route_flow(
         self,
@@ -141,46 +158,78 @@ class Forwarder:
             return None
         _ROUTES.inc()
 
+        # Resolve every flow-dependent choice up front: the ECMP link pick
+        # at each boundary and the access-router pick. The assembled path
+        # is a pure function of these plus the endpoints, so flows whose
+        # hashes land on the same choices can share one interned object.
+        selected: list[Interconnect] = []
+        current_city = src_city
+        # flow_hash() renders every part with str(); rendering the (often
+        # nested-tuple) flow key once here feeds every per-boundary hash
+        # the identical text.
+        flow_text = str(flow_key)
+        for position in range(len(as_path) - 1):
+            link = self._select_link(
+                as_path[position], as_path[position + 1],
+                current_city, dst_city, flow_text, position,
+            )
+            if link is None:
+                return None  # AS adjacency with no fabric realization
+            selected.append(link)
+            current_city = link.city_code
+        access_choice = self._access_choice(dst_asn, dst_city, flow_text)
+
+        if self._segment_cache_size:
+            key = (
+                src_asn, src_city, dst_asn, dst_city,
+                tuple(link.link_id for link in selected), access_choice,
+            )
+            cached = self._path_cache.get(key)
+            if cached is not None:
+                _PATH_HITS.inc()
+                return cached
+            _PATH_MISSES.inc()
+
+        path = self._assemble(
+            src_asn, src_city, dst_asn, dst_city, as_path, selected, access_choice
+        )
+        if self._segment_cache_size:
+            self._path_cache[key] = path
+            if len(self._path_cache) > self._segment_cache_size:
+                del self._path_cache[next(iter(self._path_cache))]
+        return path
+
+    def _assemble(
+        self,
+        src_asn: int,
+        src_city: str,
+        dst_asn: int,
+        dst_city: str,
+        as_path: tuple[int, ...],
+        selected: list[Interconnect],
+        access_choice: tuple[int, int] | None,
+    ) -> ForwardingPath:
+        """Expand resolved choices into concrete router hops."""
         hops: list[RouterHop] = []
         crossed: list[int] = []
         current_city = src_city
         self._append_core_hop(hops, src_asn, current_city, None)
 
-        for position in range(len(as_path) - 1):
+        for position, link in enumerate(selected):
             current_as = as_path[position]
             next_as = as_path[position + 1]
-            link = self._select_link(
-                current_as, next_as, current_city, dst_city, flow_key, position
-            )
-            if link is None:
-                return None  # AS adjacency with no fabric realization
             near_router, near_ip, far_router, far_ip = self._orient(link, current_as)
             if link.city_code != current_city:
                 # Backhaul across the current AS to the exit metro.
                 self._append_core_hop(hops, current_as, link.city_code, None)
-            hops.append(
-                RouterHop(
-                    router_id=near_router,
-                    asn=current_as,
-                    city_code=link.city_code,
-                    reply_ip=near_ip,
-                    entered_via_link=None,
-                )
-            )
-            hops.append(
-                RouterHop(
-                    router_id=far_router,
-                    asn=next_as,
-                    city_code=link.city_code,
-                    reply_ip=far_ip,
-                    entered_via_link=link.link_id,
-                )
-            )
+            hops.append(RouterHop(near_router, current_as, link.city_code, near_ip, None))
+            hops.append(RouterHop(far_router, next_as, link.city_code, far_ip, link.link_id))
             crossed.append(link.link_id)
             current_city = link.city_code
 
         self._append_core_hop(hops, dst_asn, dst_city, None)
-        self._append_access_hop(hops, dst_asn, dst_city, flow_key)
+        if access_choice is not None and access_choice[1] != 0:
+            hops.append(RouterHop(access_choice[0], dst_asn, dst_city, access_choice[1], None))
 
         return ForwardingPath(
             src_asn=src_asn,
@@ -193,22 +242,22 @@ class Forwarder:
     # ------------------------------------------------------------------
 
     def _cached_as_path(self, src_asn: int, dst_asn: int) -> tuple[int, ...] | None:
-        """AS path as an LRU-memoized tuple (the BGP walk is per-hop dict
+        """AS path as a memoized tuple (the BGP walk is per-hop dict
         chasing; thousands of identical client→server pairs repeat it)."""
         if not self._segment_cache_size:
             path = self._routing.as_path(src_asn, dst_asn)
             return tuple(path) if path is not None else None
         key = (src_asn, dst_asn)
-        if key in self._as_path_cache:
+        cached = self._as_path_cache.get(key, _ABSENT)
+        if cached is not _ABSENT:
             _ASPATH_HITS.inc()
-            self._as_path_cache.move_to_end(key)
-            return self._as_path_cache[key]
+            return cached
         _ASPATH_MISSES.inc()
         path = self._routing.as_path(src_asn, dst_asn)
         cached = tuple(path) if path is not None else None
         self._as_path_cache[key] = cached
         if len(self._as_path_cache) > self._segment_cache_size:
-            self._as_path_cache.popitem(last=False)
+            del self._as_path_cache[next(iter(self._as_path_cache))]
         return cached
 
     def _append_core_hop(
@@ -251,15 +300,19 @@ class Forwarder:
             entered_via_link=None,
         )
 
-    def _append_access_hop(
-        self, hops: list[RouterHop], asn: int, city: str, flow_key: object
-    ) -> None:
-        """Append a last-mile aggregation hop when the destination AS has one."""
+    def _access_choice(
+        self, asn: int, city: str, flow_key: object
+    ) -> tuple[int, int] | None:
+        """Pick the last-mile aggregation hop, as (router_id, reply_ip).
+
+        Returns None when the destination AS has no access routers in the
+        metro; a reply_ip of 0 marks an interface-less pick (the hop is
+        then omitted). Interface-less routers stay in the candidate list
+        so the flow-hash modulo matches the uncached walk exactly.
+        """
         key = (asn, city)
         candidates = self._access_cache.get(key) if self._segment_cache_size else None
         if candidates is None:
-            # Interface-less routers stay in the list (reply ip 0 sentinel)
-            # so the flow-hash modulo matches the uncached walk exactly.
             candidates = tuple(
                 (router.router_id, interfaces[0].ip if interfaces else 0)
                 for router in self._internet.fabric.access_routers_of(asn, city)
@@ -268,21 +321,10 @@ class Forwarder:
             if self._segment_cache_size:
                 self._access_cache[key] = candidates
         if not candidates:
-            return
-        router_id, reply_ip = candidates[
-            flow_hash(flow_key, "access", asn, city) % len(candidates)
-        ]
-        if reply_ip == 0:
-            return
-        hops.append(
-            RouterHop(
-                router_id=router_id,
-                asn=asn,
-                city_code=city,
-                reply_ip=reply_ip,
-                entered_via_link=None,
-            )
-        )
+            return None
+        if len(candidates) == 1:
+            return candidates[0]  # modulo of anything is 0; skip the hash
+        return candidates[flow_hash(flow_key, "access", asn, city) % len(candidates)]
 
     def _city_distance(self, a: str, b: str) -> float:
         if a == b:
@@ -313,18 +355,28 @@ class Forwarder:
         in several metros — the Table 2 observation (one Atlanta server's
         AT&T tests crossing links in Atlanta, Washington DC, and New York).
         """
-        honors_med = flow_hash("egress-policy", current_as, next_as, dst_city) % 2 == 0
+        policy_key = (current_as, next_as, dst_city)
+        honors_med = self._egress_memo.get(policy_key)
+        if honors_med is None:
+            honors_med = (
+                flow_hash("egress-policy", current_as, next_as, dst_city) % 2 == 0
+            )
+            if len(self._egress_memo) >= 1_048_576:
+                self._egress_memo.clear()
+            self._egress_memo[policy_key] = honors_med
         anchor_city = dst_city if honors_med else current_city
         nearest = self._nearest_links(current_as, next_as, anchor_city)
         if not nearest:
             return None
+        if len(nearest) == 1:
+            return nearest[0]  # modulo of anything is 0; skip the hash
         index = flow_hash(flow_key, current_as, next_as, position) % len(nearest)
         return nearest[index]
 
     def _nearest_links(
         self, current_as: int, next_as: int, anchor_city: str
     ) -> tuple[Interconnect, ...]:
-        """Equally-nearest interconnects for one boundary, LRU-memoized.
+        """Equally-nearest interconnects for one boundary, memoized.
 
         This is the path segment repeated client→server flows share: the
         candidate group depends only on the AS pair and the anchor metro,
@@ -336,7 +388,6 @@ class Forwarder:
             cached = self._segment_cache.get(key)
             if cached is not None:
                 _SEG_HITS.inc()
-                self._segment_cache.move_to_end(key)
                 return cached
             _SEG_MISSES.inc()
         candidates = self._internet.fabric.links_between(current_as, next_as)
@@ -356,7 +407,7 @@ class Forwarder:
         if self._segment_cache_size:
             self._segment_cache[key] = nearest
             if len(self._segment_cache) > self._segment_cache_size:
-                self._segment_cache.popitem(last=False)
+                del self._segment_cache[next(iter(self._segment_cache))]
         return nearest
 
     @staticmethod

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -56,6 +57,7 @@ _in_worker = False
 _UNITS = obs_metrics.counter("parallel.units_dispatched")
 _POOLS = obs_metrics.counter("parallel.pools_started")
 _SERIAL = obs_metrics.counter("parallel.serial_fallbacks")
+_CLAMPS = obs_metrics.counter("parallel.cpu_clamps")
 _UNIT_WALL = obs_metrics.histogram("parallel.unit_wall_s")
 _SKEW = obs_metrics.gauge("parallel.chunk_skew")
 
@@ -66,6 +68,8 @@ _last_stats: dict[str, object] = {
     "chunksize": 1,
     "fallback": None,
     "chunk_skew": None,
+    "requested_jobs": 0,
+    "cpu_clamped": False,
 }
 
 
@@ -142,11 +146,32 @@ def _observed_unit(func: Callable[[T], R], item: T) -> tuple[R, dict, list, floa
     return result, obs_metrics.snapshot(), obs_trace.tree(), wall
 
 
-def _record_serial(units: int, reason: str) -> None:
+def _cpu_limit() -> int | None:
+    """Worker cap: ``os.cpu_count()``, unless oversubscription is forced.
+
+    ``REPRO_POOL_OVERSUBSCRIBE=1`` disables the clamp — for pool-machinery
+    tests on small containers, or genuinely IO-bound units.
+    """
+    if os.environ.get("REPRO_POOL_OVERSUBSCRIBE"):
+        return None
+    return os.cpu_count()
+
+
+def _record_serial(
+    units: int, reason: str, requested: int = 1, clamped: bool = False
+) -> None:
     _SERIAL.inc()
     _UNITS.inc(units)
     _last_stats.update(
-        {"workers": 1, "units": units, "chunksize": 1, "fallback": reason, "chunk_skew": None}
+        {
+            "workers": 1,
+            "units": units,
+            "chunksize": 1,
+            "fallback": reason,
+            "chunk_skew": None,
+            "requested_jobs": requested,
+            "cpu_clamped": clamped,
+        }
     )
 
 
@@ -165,21 +190,35 @@ def parallel_map(
     same results, no pool.
     """
     work = list(items)
-    jobs = resolve_jobs(jobs)
+    requested = resolve_jobs(jobs)
+    # Clamp to the machine: oversubscribed CPU-bound workers only add
+    # fork/pickle overhead (BENCH_PR1's fig2_full_jobs4 ran *slower* than
+    # serial on one core). The clamp is recorded in pool_stats() and can
+    # be disabled with REPRO_POOL_OVERSUBSCRIBE=1. Results are unaffected
+    # either way — worker count never changes output, only wall clock.
+    limit = _cpu_limit()
+    jobs = requested if limit is None else min(requested, limit)
+    clamped = jobs < requested
+    if clamped:
+        _CLAMPS.inc()
+        _log.debug("clamping jobs=%d to %d cpus", requested, jobs)
     if _in_worker:
         if jobs > 1 and len(work) > 1:
             _log.debug(
                 "nested fan-out of %d units inside a pool worker degrades to serial",
                 len(work),
             )
-        _record_serial(len(work), "nested-in-worker")
+        _record_serial(len(work), "nested-in-worker", requested, clamped)
         return [func(item) for item in work]
     if jobs <= 1 or len(work) <= 1:
-        _record_serial(len(work), "jobs<=1" if jobs <= 1 else "single-unit")
+        if requested <= 1:
+            reason = "jobs<=1"
+        elif len(work) <= 1:
+            reason = "single-unit"
+        else:
+            reason = "cpu-clamp"
+        _record_serial(len(work), reason, requested, clamped)
         return [func(item) for item in work]
-    # Honor the requested job count rather than clamping to os.cpu_count():
-    # callers ask for what they want, and a silent clamp would disable
-    # fan-out entirely inside 1-CPU containers.
     max_workers = min(jobs, len(work))
     chunksize = max(1, chunksize)
     observe = obs_metrics.enabled() or obs_trace.enabled()
@@ -192,6 +231,8 @@ def parallel_map(
             "chunksize": chunksize,
             "fallback": None,
             "chunk_skew": None,
+            "requested_jobs": requested,
+            "cpu_clamped": clamped,
         }
     )
     _log.debug(

@@ -307,14 +307,43 @@ class TestPoolStats:
         parallel_map(_identity, [1], jobs=4)
         assert pool_stats()["fallback"] == "single-unit"
 
-    def test_pool_run_records_workers_and_skew(self):
+    def test_pool_run_records_workers_and_skew(self, monkeypatch):
+        # Oversubscribe so the real pool machinery runs even on one core.
+        monkeypatch.setenv("REPRO_POOL_OVERSUBSCRIBE", "1")
         out = parallel_map(_identity, list(range(8)), jobs=2)
         assert out == list(range(8))
         stats = pool_stats()
         assert stats["fallback"] is None
         assert stats["workers"] == 2
         assert stats["units"] == 8
+        assert stats["requested_jobs"] == 2
+        assert stats["cpu_clamped"] is False
         assert stats["chunk_skew"] is None or stats["chunk_skew"] >= 1.0
+
+    def test_cpu_clamp_records_and_falls_back(self, monkeypatch):
+        from repro.util import parallel as parallel_module
+
+        monkeypatch.delenv("REPRO_POOL_OVERSUBSCRIBE", raising=False)
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 1)
+        out = parallel_map(_identity, list(range(4)), jobs=4)
+        assert out == list(range(4))
+        stats = pool_stats()
+        assert stats["fallback"] == "cpu-clamp"
+        assert stats["workers"] == 1
+        assert stats["requested_jobs"] == 4
+        assert stats["cpu_clamped"] is True
+
+    def test_oversubscribe_env_disables_clamp(self, monkeypatch):
+        from repro.util import parallel as parallel_module
+
+        monkeypatch.setenv("REPRO_POOL_OVERSUBSCRIBE", "1")
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 1)
+        out = parallel_map(_identity, list(range(4)), jobs=2)
+        assert out == list(range(4))
+        stats = pool_stats()
+        assert stats["fallback"] is None
+        assert stats["workers"] == 2
+        assert stats["cpu_clamped"] is False
 
     def test_validate_jobs(self):
         assert validate_jobs("4") == 4

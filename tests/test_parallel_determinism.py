@@ -206,7 +206,10 @@ class TestObservabilityTransparency:
 
 
 class TestParallelMapPrimitive:
-    def test_preserves_order(self):
+    def test_preserves_order(self, monkeypatch):
+        # Force a real pool regardless of core count (the cpu clamp would
+        # otherwise make this serial on small machines).
+        monkeypatch.setenv("REPRO_POOL_OVERSUBSCRIBE", "1")
         assert parallel_map(_square, list(range(20)), jobs=4) == [i * i for i in range(20)]
 
     def test_serial_fallback(self):
