@@ -1,10 +1,42 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench experiments trace-smoke clean-cache
+# Coverage floor for `make coverage` (core + validate packages).
+COV_FLOOR ?= 75
+
+.PHONY: test test-slow validate validate-smoke fuzz coverage bench experiments trace-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The full-scale shape-gate sweep as a pytest tier (deselected from
+# `make test` via the slow marker).
+test-slow:
+	$(PYTHON) -m pytest -x -q -m slow
+
+# World contracts + every EXPERIMENTS.md shape gate on the default seed.
+validate:
+	$(PYTHON) -m repro validate --seed 7
+
+# Contracts only — fast enough for a pre-commit hook (~1 s at small scale).
+validate-smoke:
+	$(PYTHON) -m repro validate --seed 7 --scale 0.05 --contracts-only
+
+# Property-based fuzzing with the derandomized CI profile.
+fuzz:
+	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -q \
+		tests/test_validate_properties.py tests/test_property_util.py
+
+# Tier-1 coverage with a floor on the packages the validation layer
+# guards. Needs the pytest-cov dev dependency; fails fast with a hint
+# when it is absent rather than running uncovered.
+coverage:
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null || \
+		{ echo "pytest-cov not installed (pip install 'repro[dev]')"; exit 2; }
+	$(PYTHON) -m pytest -q -m "not slow" \
+		--cov=repro.core --cov=repro.validate \
+		--cov-report=term-missing --cov-report=xml:coverage.xml \
+		--cov-fail-under=$(COV_FLOOR)
 
 # One traced experiment end-to-end; fails if the observability artifacts
 # (run_manifest.json + trace.json) do not appear or name the wrong schema.

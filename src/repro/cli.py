@@ -5,6 +5,7 @@
     repro analyze     --ndt ndt.csv --pfx2as data/pfx2as.txt --orgs data/as-org.txt
     repro experiments fig1 fig5                  # regenerate paper artifacts
     repro report      out.md fig1 fig5           # markdown report
+    repro validate    --seed 7                   # world contracts + shape gates
 
 Every subcommand operates on the same seeded world (``--seed``), so a
 campaign exported today reproduces bit-for-bit tomorrow.
@@ -46,6 +47,8 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--traces", help="traceroute JSONL path")
     campaign.add_argument("--ground-truth", action="store_true",
                           help="include gt_* columns (not part of a public export)")
+    campaign.add_argument("--validate", action="store_true",
+                          help="run fast world contracts while building the study")
 
     analyze = sub.add_parser("analyze", help="diurnal congestion verdicts from a CSV")
     analyze.add_argument("--ndt", required=True)
@@ -60,10 +63,30 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="print the span tree and write trace.json")
     experiments.add_argument("--probe-flows", action="store_true",
                              help="record tcp_probe-style exemplar flow series")
+    experiments.add_argument("--validate", action="store_true",
+                             help="run fast world contracts while building the study")
 
     report = sub.add_parser("report", help="write a markdown reproduction report")
     report.add_argument("path")
     report.add_argument("ids", nargs="+")
+
+    validate = sub.add_parser(
+        "validate", help="run world contracts and EXPERIMENTS.md shape gates"
+    )
+    # Also accepted after the subcommand (python -m repro validate --seed N);
+    # the subparser value overwrites the global default.
+    validate.add_argument("--seed", type=int, default=7,
+                          help="root seed for the world")
+    validate.add_argument("--scale", type=float, default=1.0,
+                          help="stub-population scale of the world")
+    validate.add_argument("--contracts-only", action="store_true",
+                          help="skip shape gates (no experiments run)")
+    validate.add_argument("--gates-only", action="store_true",
+                          help="skip world contracts")
+    validate.add_argument("--gates", nargs="*", default=None, metavar="EXPERIMENT",
+                          help="experiment ids to gate (default: every gated one)")
+    validate.add_argument("--fast-contracts", action="store_true",
+                          help="skip slow contracts (coverage traceroute sweep)")
 
     return parser
 
@@ -76,12 +99,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "campaign":
+        if args.validate:
+            from repro.core.pipeline import set_inline_validation
+
+            set_inline_validation(True)
         return _cmd_campaign(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
     if args.command == "experiments":
         from repro.experiments.__main__ import main as experiments_main
 
+        if args.validate:
+            from repro.core.pipeline import set_inline_validation
+
+            set_inline_validation(True)
         forwarded = [*args.ids, "--jobs", str(args.jobs),
                      "--log-level", args.log_level]
         if args.trace:
@@ -95,6 +126,19 @@ def main(argv: list[str] | None = None) -> int:
         from repro.reporting.__main__ import main as report_main
 
         return report_main([args.path, *args.ids])
+    if args.command == "validate":
+        from repro.validate.__main__ import main as validate_main
+
+        forwarded = ["--seed", str(args.seed), "--scale", str(args.scale)]
+        if args.contracts_only:
+            forwarded.append("--contracts-only")
+        if args.gates_only:
+            forwarded.append("--gates-only")
+        if args.fast_contracts:
+            forwarded.append("--fast-contracts")
+        if args.gates is not None:
+            forwarded.extend(["--gates", *args.gates])
+        return validate_main(forwarded)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

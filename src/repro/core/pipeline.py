@@ -120,6 +120,34 @@ class Study:
 
 _STUDY_CACHE: dict[StudyConfig, Study] = {}
 
+#: When enabled (``--validate`` or ``REPRO_VALIDATE=1``), every freshly
+#: built study runs the fast world contracts before being cached; a
+#: violation raises :class:`repro.validate.base.ContractViolation`.
+_INLINE_VALIDATION = False
+
+
+def set_inline_validation(enabled: bool) -> None:
+    """Toggle contract validation inside :func:`build_study`."""
+    global _INLINE_VALIDATION
+    _INLINE_VALIDATION = enabled
+
+
+def inline_validation_enabled() -> bool:
+    import os
+
+    return _INLINE_VALIDATION or os.environ.get("REPRO_VALIDATE", "") not in ("", "0")
+
+
+def _validate_inline(study: Study) -> None:
+    # Imported lazily: repro.validate sits above the pipeline layer.
+    from repro.validate.base import ContractViolation
+    from repro.validate.contracts import validate_world
+
+    report = validate_world(study, include_slow=False)
+    if not report.ok:
+        raise ContractViolation(report)
+    _log.info("inline validation passed (%d contracts)", len(report.results))
+
 
 def build_study(config: StudyConfig | None = None) -> Study:
     """Build (or fetch from cache) the study world for a configuration."""
@@ -185,6 +213,8 @@ def build_study(config: StudyConfig | None = None) -> Study:
         traceroute_engine=engine,
         org_names=org_names,
     )
+    if inline_validation_enabled():
+        _validate_inline(study)
     _STUDY_CACHE[config] = study
     return study
 

@@ -57,4 +57,12 @@ EXPERIMENTS = {
     "ext-sigs": ext_signatures.run,
 }
 
-__all__ = ["EXPERIMENTS", "ExperimentResult"]
+#: The EXPERIMENTS.md summary-table artifacts, in table order. Every one
+#: of these has a named shape gate in :mod:`repro.validate.gates`; the
+#: default ``python -m repro validate`` sweep runs exactly this set.
+SUMMARY_EXPERIMENTS: tuple[str, ...] = (
+    "tab1", "fig1", "tab2", "tab3", "fig2", "fig3",
+    "fig4", "fig5", "sec41", "sec54", "sec62",
+)
+
+__all__ = ["EXPERIMENTS", "SUMMARY_EXPERIMENTS", "ExperimentResult"]

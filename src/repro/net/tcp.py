@@ -137,6 +137,11 @@ class TCPModel:
     #: far below it, but an adversarial caller should not leak memory.
     _PATH_MEMO_MAX = 262_144
 
+    @property
+    def seed(self) -> int:
+        """Root seed of this model's noise stream (``tcp-noise`` label)."""
+        return self._seed
+
     def reseeded(self, seed: int) -> "TCPModel":
         """A fresh model over the same links with an independent noise stream.
 

@@ -16,6 +16,12 @@ Four sub-modules:
   deterministically across pool workers and rendered by ``--trace``;
 * :mod:`repro.obs.flowprobe` — opt-in tcp_probe-style per-tick flow
   series (cwnd / ssthresh / srtt / throughput) for selected flows.
+
+Metric name groups are dot-prefixed by layer (``bgp.*``, ``tcp.batch.*``,
+``cache.*``); the validation subsystem reports under ``validate.*``
+(``contracts_run`` / ``contracts_failed`` / ``gates_run`` /
+``gates_failed`` / ``violations``) and traces each check as a
+``contract:<name>`` or ``gate:<name>`` span under ``validate_world``.
 """
 
 from repro.obs.log import JSONLFormatter, configure_logging, get_logger

@@ -90,6 +90,43 @@ class _LazyDst:
     no_route: set[int]
 
 
+def valley_free_violations(graph: ASGraph, as_path: list[int]) -> list[str]:
+    """Gao-Rexford violations in an AS path (empty list = valley-free).
+
+    A valid path climbs customer→provider edges, crosses at most one peer
+    edge, then descends provider→customer edges; every consecutive pair
+    must be adjacent in the graph and no AS may repeat (forwarding loop).
+    Used by the ``routing.valley_free`` world contract, which must name
+    the offending edge rather than just flag the path.
+    """
+    violations: list[str] = []
+    if len(set(as_path)) != len(as_path):
+        violations.append(f"AS path repeats an AS: {as_path}")
+    # 0 = climbing, 1 = crossed the peer edge, 2 = descending.
+    state = 0
+    for near, far in zip(as_path, as_path[1:]):
+        rel = graph.relationship(near, far)
+        if rel is None:
+            violations.append(f"AS{near}->AS{far} is not an adjacency in the graph")
+            state = 2  # keep scanning for more missing edges
+        elif rel is Relationship.PROVIDER:
+            if state != 0:
+                violations.append(
+                    f"uphill edge AS{near}->AS{far} after the path turned over "
+                    f"(valley) in {as_path}"
+                )
+        elif rel is Relationship.PEER:
+            if state != 0:
+                violations.append(
+                    f"peer edge AS{near}->AS{far} after the path turned over "
+                    f"(valley) in {as_path}"
+                )
+            state = 1
+        else:  # CUSTOMER: descending
+            state = 2
+    return violations
+
+
 class BGPRouting:
     """Cached per-destination valley-free routing over an AS graph."""
 

@@ -214,6 +214,10 @@ class RouterFabric:
         iface = self._interfaces.get(ip)
         return None if iface is None else self._routers[iface.router_id].asn
 
+    def interfaces(self) -> list[Interface]:
+        """Every addressed interface in the fabric, in address order."""
+        return [self._interfaces[ip] for ip in sorted(self._interfaces)]
+
     def interconnect(self, link_id: int) -> Interconnect:
         try:
             return self._interconnects[link_id]

@@ -1,0 +1,84 @@
+"""CLI: run world contracts and shape gates against a seeded world.
+
+    python -m repro validate --seed 7                  # contracts + all gates
+    python -m repro validate --seed 11 --contracts-only
+    python -m repro validate --gates fig5 sec62        # a subset of gates
+
+Contracts run against the study world for (seed, scale). Gates then run
+the summary experiments *in that world* and check each EXPERIMENTS.md
+verdict; with the artifact cache warm this is minutes, cold it is the
+full ``python -m repro.experiments all`` cost. Exit status is 0 iff
+every executed check passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro validate",
+        description="Run world contracts and EXPERIMENTS.md shape gates",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="root seed for the world")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="stub-population scale of the world (default: 1.0)")
+    parser.add_argument("--contracts-only", action="store_true",
+                        help="skip shape gates (fast; no experiments run)")
+    parser.add_argument("--gates-only", action="store_true",
+                        help="skip world contracts")
+    parser.add_argument("--gates", nargs="*", default=None, metavar="EXPERIMENT",
+                        help="experiment ids to gate (default: every gated one)")
+    parser.add_argument("--fast-contracts", action="store_true",
+                        help="skip slow contracts (coverage traceroute sweep)")
+    parser.add_argument("--sample-pairs", type=int, default=80,
+                        help="random AS pairs for the valley-free contract")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    from repro.core.pipeline import StudyConfig, build_study
+    from repro.obs.trace import span
+    from repro.validate.base import ValidationReport
+    from repro.validate.contracts import validate_world
+    from repro.validate.gates import gated_experiment_ids, run_gates
+
+    started = time.perf_counter()
+    config = StudyConfig(seed=args.seed, scale=args.scale)
+    report = ValidationReport()
+
+    with span("validate", seed=args.seed, scale=args.scale):
+        study = build_study(config)
+        if not args.gates_only:
+            report.extend(validate_world(
+                study,
+                include_slow=not args.fast_contracts,
+                sample_pairs=args.sample_pairs,
+            ))
+        if not args.contracts_only:
+            from repro.experiments import EXPERIMENTS
+
+            wanted = args.gates if args.gates else gated_experiment_ids()
+            unknown = [i for i in wanted if i not in EXPERIMENTS]
+            if unknown:
+                print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+                return 2
+            results = {}
+            for experiment_id in wanted:
+                with span(f"experiment:{experiment_id}"):
+                    print(f"running {experiment_id}...", flush=True)
+                    results[experiment_id] = EXPERIMENTS[experiment_id](study)
+            report.extend(run_gates(results))
+
+    print(report.render())
+    print(f"[validated seed={args.seed} scale={args.scale} "
+          f"in {time.perf_counter() - started:.1f}s]")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""Result types shared by world contracts and shape gates.
+
+A validation run produces one :class:`CheckResult` per registered check
+(contract or gate); a :class:`ValidationReport` aggregates them and
+renders a human-readable verdict. Checks never raise through the
+validator — a crashing check is itself a named failure, so a mutated or
+degenerate world is *reported*, not a traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one named check.
+
+    ``violations`` lists concrete findings (empty when the check passed
+    or was skipped); ``skipped`` marks checks whose prerequisites were
+    absent (e.g. a study-level contract run against a bare topology).
+    """
+
+    name: str
+    kind: str  # "contract" or "gate"
+    passed: bool
+    violations: tuple[str, ...] = ()
+    skipped: bool = False
+    detail: str = ""
+
+    def label(self) -> str:
+        if self.skipped:
+            status = "SKIP"
+        elif self.passed:
+            status = "ok"
+        else:
+            status = "FAIL"
+        return f"{self.kind} {self.name}: {status}"
+
+
+@dataclass
+class ValidationReport:
+    """Every check outcome from one validation run."""
+
+    results: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.passed or r.skipped for r in self.results)
+
+    def failures(self) -> list[CheckResult]:
+        return [r for r in self.results if not r.passed and not r.skipped]
+
+    def counts(self) -> tuple[int, int, int]:
+        """(passed, failed, skipped)."""
+        passed = sum(1 for r in self.results if r.passed and not r.skipped)
+        failed = len(self.failures())
+        skipped = sum(1 for r in self.results if r.skipped)
+        return passed, failed, skipped
+
+    def extend(self, other: "ValidationReport") -> "ValidationReport":
+        self.results.extend(other.results)
+        return self
+
+    def render(self, max_violations: int = 8) -> str:
+        lines: list[str] = []
+        for result in self.results:
+            lines.append(result.label() + (f"  ({result.detail})" if result.detail else ""))
+            shown = result.violations[:max_violations]
+            for violation in shown:
+                lines.append(f"    - {violation}")
+            hidden = len(result.violations) - len(shown)
+            if hidden > 0:
+                lines.append(f"    ... {hidden} more")
+        passed, failed, skipped = self.counts()
+        lines.append(
+            f"{passed} passed, {failed} failed, {skipped} skipped"
+            + ("" if self.ok else " — VALIDATION FAILED")
+        )
+        return "\n".join(lines)
+
+
+class ContractViolation(Exception):
+    """Raised by inline validation when a world breaks a contract."""
+
+    def __init__(self, report: ValidationReport) -> None:
+        self.report = report
+        names = ", ".join(r.name for r in report.failures())
+        super().__init__(f"world contract violation: {names}\n{report.render()}")

@@ -1,0 +1,414 @@
+"""World contracts: invariants every generated world must satisfy.
+
+Each contract is a named predicate over a :class:`WorldContext` — a
+generated :class:`~repro.topology.internet.Internet` plus (optionally)
+the fully wired :class:`~repro.core.pipeline.Study` around it. Contracts
+return a list of violation strings; the registry runs them under
+``validate.*`` metrics and ``contract:<name>`` trace spans and never lets
+one crash the sweep — an exception is reported as that contract's
+failure.
+
+The registered invariants:
+
+* ``routing.valley_free`` — sampled forwarding AS paths are Gao-Rexford
+  valley-free, loop-free, and use only real adjacencies;
+* ``topology.prefix_table_consistency`` — every announced prefix belongs
+  to a known AS, is not shadowed in the trie, and client space
+  longest-prefix-matches back to its owner;
+* ``topology.interconnect_fabric_agreement`` — interconnect ground truth
+  (endpoint ASNs, routers, cities, interface addressing, parallel-link
+  groups) agrees with the router fabric and the AS graph;
+* ``coverage.numerator_subset`` — §5 coverage reports keep every
+  numerator inside its denominator's universe and every fraction in
+  [0, 1];
+* ``rng.stream_fork_discipline`` — labelled RNG streams replay exactly
+  and fork independently;
+* ``study.seed_wiring`` — a wired study derives every stochastic layer
+  from its configured root seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, TYPE_CHECKING
+
+from repro.obs import metrics
+from repro.obs.log import get_logger
+from repro.obs.trace import span
+from repro.routing.bgp import BGPRouting, valley_free_violations
+from repro.topology.internet import Internet
+from repro.topology.routers import InterconnectKind
+from repro.util.rng import derive_random, derive_rng, derive_seed
+from repro.validate.base import CheckResult, ValidationReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.coverage import CoverageReport
+    from repro.core.pipeline import Study
+
+_log = get_logger(__name__)
+
+_RUN = metrics.counter("validate.contracts_run")
+_FAILED = metrics.counter("validate.contracts_failed")
+_VIOLATIONS = metrics.counter("validate.violations")
+
+
+@dataclass
+class WorldContext:
+    """Everything a contract may inspect, plus sampling knobs."""
+
+    internet: Internet
+    routing: BGPRouting
+    study: "Study | None" = None
+    #: Random (src, dst) AS pairs sampled by the valley-free contract.
+    sample_pairs: int = 80
+    #: bdrmap probing budget for the coverage contract (slow).
+    coverage_prefixes: int = 40
+    coverage_alexa: int = 40
+
+    def rng(self, label: str):
+        """Contract-local stream: a function of the world seed alone."""
+        return derive_random(self.internet.seed, "validate", label)
+
+
+@dataclass(frozen=True)
+class Contract:
+    name: str
+    description: str
+    fn: Callable[[WorldContext], list[str]]
+    #: "internet" contracts run on a bare topology; "study" contracts
+    #: need the wired pipeline around it.
+    needs: str = "internet"
+    #: "slow" contracts (traceroute sweeps) are skipped by inline
+    #: validation inside build_study.
+    cost: str = "fast"
+
+
+#: Registry, in registration (= report) order.
+CONTRACTS: dict[str, Contract] = {}
+
+
+def contract(name: str, *, needs: str = "internet", cost: str = "fast",
+             description: str = ""):
+    """Register a world contract under a stable dotted name."""
+
+    def register(fn: Callable[[WorldContext], list[str]]):
+        if name in CONTRACTS:
+            raise ValueError(f"duplicate contract {name!r}")
+        CONTRACTS[name] = Contract(
+            name=name,
+            description=description or (fn.__doc__ or "").strip().splitlines()[0],
+            fn=fn,
+            needs=needs,
+            cost=cost,
+        )
+        return fn
+
+    return register
+
+
+def unregister(name: str) -> None:
+    """Remove a contract (tests register throwaway contracts)."""
+    CONTRACTS.pop(name, None)
+
+
+# ---------------------------------------------------------------------------
+# contracts
+
+
+@contract("routing.valley_free")
+def _valley_free(ctx: WorldContext) -> list[str]:
+    """Sampled AS paths are valley-free, loop-free, real adjacencies."""
+    graph = ctx.internet.graph
+    asns = graph.asns()
+    rng = ctx.rng("valley")
+    pairs = {
+        (asns[rng.randrange(len(asns))], asns[rng.randrange(len(asns))])
+        for _ in range(ctx.sample_pairs)
+    }
+    # Always include the paper-relevant pairs: every access primary to
+    # every tier-1-ish AS with peers (the paths campaigns actually use).
+    from repro.topology.asgraph import ASRole
+
+    access = [a.asn for a in graph.ases_by_role(ASRole.ACCESS)][:8]
+    tier1 = [a.asn for a in graph.ases_by_role(ASRole.TIER1)][:6]
+    pairs.update((a, t) for a in access for t in tier1)
+    violations: list[str] = []
+    for src, dst in sorted(pairs):
+        if src == dst:
+            continue
+        path = ctx.routing.as_path(src, dst)
+        if path is None:
+            continue  # unreachable is legal (island stubs)
+        if path[0] != src or path[-1] != dst:
+            violations.append(
+                f"path {path} does not run AS{src}->AS{dst} endpoint to endpoint"
+            )
+        violations.extend(valley_free_violations(graph, path))
+    return violations
+
+
+@contract("topology.prefix_table_consistency")
+def _prefix_table(ctx: WorldContext) -> list[str]:
+    """Announced prefixes map to known ASes and LPM back to their owner."""
+    internet = ctx.internet
+    table = internet.prefix_table
+    violations: list[str] = []
+    for prefix in table.prefixes():
+        if prefix.asn not in internet.graph:
+            violations.append(f"prefix {prefix} announced by unknown AS{prefix.asn}")
+        if table.lookup(prefix.base) != prefix:
+            violations.append(f"prefix {prefix} is shadowed by a longer announcement")
+    for asn, prefixes in internet.client_prefixes.items():
+        for prefix in prefixes:
+            origin = table.origin_asn(prefix.base)
+            if origin != asn:
+                violations.append(
+                    f"client prefix {prefix} of AS{asn} resolves to AS{origin}"
+                )
+    return violations
+
+
+@contract("topology.interconnect_fabric_agreement")
+def _interconnect_fabric(ctx: WorldContext) -> list[str]:
+    """Interconnect ground truth agrees with the router fabric and graph."""
+    internet = ctx.internet
+    fabric = internet.fabric
+    graph = internet.graph
+    violations: list[str] = []
+    group_identity: dict[int, tuple[int, int, str]] = {}
+    for link in fabric.interconnects():
+        tag = f"link {link.link_id} (AS{link.a_asn}<->AS{link.b_asn}/{link.city_code})"
+        if graph.relationship(link.a_asn, link.b_asn) is None:
+            violations.append(f"{tag}: endpoints have no AS-graph adjacency")
+        for side, asn, router_id, ip in (
+            ("a", link.a_asn, link.a_router_id, link.a_ip),
+            ("b", link.b_asn, link.b_router_id, link.b_ip),
+        ):
+            try:
+                router = fabric.router(router_id)
+            except KeyError:
+                violations.append(f"{tag}: side {side} names unknown router {router_id}")
+                continue
+            if router.asn != asn:
+                violations.append(
+                    f"{tag}: side {side} router r{router_id} belongs to AS{router.asn}, "
+                    f"not AS{asn}"
+                )
+            if router.city_code != link.city_code:
+                violations.append(
+                    f"{tag}: side {side} router sits in {router.city_code}, "
+                    f"link claims {link.city_code}"
+                )
+            iface = fabric.interface(ip)
+            if iface is None or iface.router_id != router_id:
+                violations.append(f"{tag}: side {side} interface is not on its router")
+            if fabric.owner_asn_of_ip(ip) != asn:
+                violations.append(f"{tag}: side {side} interface owner disagrees")
+        if link.kind is InterconnectKind.PRIVATE:
+            if link.numbered_from_asn not in (link.a_asn, link.b_asn):
+                violations.append(
+                    f"{tag}: PNI numbered from non-endpoint AS{link.numbered_from_asn}"
+                )
+        elif link.numbered_from_asn != 0:
+            violations.append(
+                f"{tag}: IXP link numbered from AS{link.numbered_from_asn}, expected 0"
+            )
+        identity = (link.a_router_id, link.b_router_id, link.city_code)
+        previous = group_identity.setdefault(link.group_id, identity)
+        if previous != identity:
+            violations.append(
+                f"{tag}: parallel group {link.group_id} spans distinct router pairs"
+            )
+    return violations
+
+
+def check_coverage_report(report: "CoverageReport") -> list[str]:
+    """Internal-consistency violations of one §5 coverage report.
+
+    Exposed separately so tests can feed deliberately inconsistent
+    reports without running a traceroute sweep.
+    """
+    violations: list[str] = []
+    universe = set(report.relationships)
+
+    def check_set(border_set, label: str) -> None:
+        numerator_orgs = {org for (_group, org) in border_set.router_level}
+        stray = numerator_orgs - border_set.as_level
+        if stray:
+            violations.append(
+                f"{label}: router-level numerator names orgs outside its own "
+                f"AS-level set: {sorted(stray)}"
+            )
+        outside = border_set.as_level - universe
+        if outside:
+            violations.append(
+                f"{label}: numerator orgs outside the relationship universe "
+                f"(denominator domain): {sorted(outside)}"
+            )
+
+    check_set(report.discovered, "discovered (denominator)")
+    for name, border_set in report.reachable.items():
+        check_set(border_set, f"reachable[{name}]")
+    for name in report.reachable:
+        for level in ("as", "router"):
+            for peers_only in (False, True):
+                fraction = report.coverage_fraction(name, level=level, peers_only=peers_only)
+                if not 0.0 <= fraction <= 1.0:
+                    violations.append(
+                        f"coverage_fraction({name!r}, {level}, peers_only={peers_only}) "
+                        f"= {fraction} outside [0, 1]"
+                    )
+    return violations
+
+
+@contract("coverage.numerator_subset", needs="study", cost="slow")
+def _coverage_consistency(ctx: WorldContext) -> list[str]:
+    """One VP's coverage numerators stay inside their denominators."""
+    from repro.core.coverage import vp_coverage_report
+
+    study = ctx.study
+    assert study is not None
+    vps = study.ark_vps()
+    if not vps:
+        return ["study has no Ark VPs to cover"]
+    report = vp_coverage_report(
+        study,
+        vps[0],
+        alexa_count=ctx.coverage_alexa,
+        max_prefixes=ctx.coverage_prefixes,
+    )
+    return check_coverage_report(report)
+
+
+@contract("rng.stream_fork_discipline")
+def _rng_discipline(ctx: WorldContext) -> list[str]:
+    """Labelled streams replay exactly and fork independently."""
+    seed = ctx.internet.seed
+    violations: list[str] = []
+    if derive_seed(seed, "a") == derive_seed(seed, "b"):
+        violations.append("distinct labels 'a'/'b' derived the same seed")
+    if derive_seed(seed, "a") != derive_seed(seed, "a"):
+        violations.append("derive_seed is not deterministic")
+    # Replay: the same (seed, label) must yield the same draw sequence.
+    first_stream = derive_random(seed, "replay")
+    second_stream = derive_random(seed, "replay")
+    first = [first_stream.random() for _ in range(4)]
+    second = [second_stream.random() for _ in range(4)]
+    if first != second:
+        violations.append("derive_random stream does not replay identically")
+    # Fork independence: consuming stream 'x' must not shift stream 'y'.
+    y_alone = derive_random(seed, "y").random()
+    x = derive_random(seed, "x")
+    for _ in range(16):
+        x.random()
+    y_after = derive_random(seed, "y").random()
+    if y_alone != y_after:
+        violations.append("consuming one stream perturbed a sibling stream")
+    numpy_first = derive_rng(seed, "np").random(3).tolist()
+    numpy_second = derive_rng(seed, "np").random(3).tolist()
+    if numpy_first != numpy_second:
+        violations.append("derive_rng (numpy) stream does not replay identically")
+    return violations
+
+
+@contract("study.seed_wiring", needs="study")
+def _study_seed_wiring(ctx: WorldContext) -> list[str]:
+    """Every stochastic layer of a study derives from the config seed."""
+    study = ctx.study
+    assert study is not None
+    violations: list[str] = []
+    if study.internet.seed != study.config.seed:
+        violations.append(
+            f"internet generated with seed {study.internet.seed}, "
+            f"config says {study.config.seed}"
+        )
+    if study.tcp.seed != study.config.seed:
+        violations.append(
+            f"TCP noise stream seeded with {study.tcp.seed}, "
+            f"config says {study.config.seed}"
+        )
+    if study.forwarder.routing is not study.routing:
+        violations.append("forwarder routes over a different BGPRouting instance")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# runners
+
+
+def _run_contract(entry: Contract, ctx: WorldContext) -> CheckResult:
+    _RUN.inc()
+    with span(f"contract:{entry.name}"):
+        try:
+            violations = entry.fn(ctx)
+        except Exception as exc:  # a crashing contract is a failed contract
+            _log.warning("contract %s raised: %r", entry.name, exc)
+            violations = [f"contract raised {exc!r}"]
+    if violations:
+        _FAILED.inc()
+        _VIOLATIONS.inc(len(violations))
+    return CheckResult(
+        name=entry.name,
+        kind="contract",
+        passed=not violations,
+        violations=tuple(violations),
+        detail=entry.description,
+    )
+
+
+def validate_world(
+    study: "Study",
+    include_slow: bool = True,
+    sample_pairs: int = 80,
+    coverage_prefixes: int = 40,
+    coverage_alexa: int = 40,
+) -> ValidationReport:
+    """Run every applicable contract against a wired study world."""
+    ctx = WorldContext(
+        internet=study.internet,
+        routing=study.routing,
+        study=study,
+        sample_pairs=sample_pairs,
+        coverage_prefixes=coverage_prefixes,
+        coverage_alexa=coverage_alexa,
+    )
+    return _validate(ctx, include_slow=include_slow)
+
+
+def validate_internet(
+    internet: Internet,
+    routing: BGPRouting | None = None,
+    sample_pairs: int = 80,
+) -> ValidationReport:
+    """Run topology/routing contracts against a bare generated Internet.
+
+    Study-level contracts are reported as skipped, not silently dropped,
+    so a report always covers the full registry.
+    """
+    ctx = WorldContext(
+        internet=internet,
+        routing=routing if routing is not None else BGPRouting(internet.graph),
+        study=None,
+        sample_pairs=sample_pairs,
+    )
+    return _validate(ctx, include_slow=True)
+
+
+def _validate(ctx: WorldContext, include_slow: bool) -> ValidationReport:
+    report = ValidationReport()
+    with span("validate_world", seed=ctx.internet.seed):
+        for entry in CONTRACTS.values():
+            if entry.needs == "study" and ctx.study is None:
+                report.results.append(CheckResult(
+                    name=entry.name, kind="contract", passed=True, skipped=True,
+                    detail="needs a wired study",
+                ))
+                continue
+            if entry.cost == "slow" and not include_slow:
+                report.results.append(CheckResult(
+                    name=entry.name, kind="contract", passed=True, skipped=True,
+                    detail="slow contract skipped",
+                ))
+                continue
+            report.results.append(_run_contract(entry, ctx))
+    return report

@@ -4,14 +4,35 @@
 ``small_study`` is a fully wired study world at ~1/10 scale, shared
 session-wide (building it once costs a few seconds; every integration
 test reuses it).
+
+Hypothesis profiles: ``dev`` (default) explores with a random seed;
+``ci`` is derandomized so property tests are reproducible in CI. Select
+with ``HYPOTHESIS_PROFILE=ci``. Registration is gated on the import so
+the suite still runs where the dev dependency is absent.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.core.pipeline import StudyConfig, build_study
 from repro.topology.generator import InternetConfig, generate_internet
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    _COMMON = dict(
+        deadline=None,  # world generation dwarfs any per-example deadline
+        suppress_health_check=(HealthCheck.too_slow,),
+    )
+    settings.register_profile("dev", max_examples=20, **_COMMON)
+    settings.register_profile("ci", max_examples=20, derandomize=True,
+                              print_blob=True, **_COMMON)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ModuleNotFoundError:  # pragma: no cover - hypothesis not installed
+    pass
 
 TINY_CONFIG = InternetConfig(seed=7, n_stub=60, n_transit=6)
 

@@ -131,3 +131,82 @@ class TestDegenerateLookups:
         level3 = tiny_internet.as_named("Level3")
         path = forwarder.route_flow(level3.asn, "nyc", level3.asn, "nyc", "k")
         assert path is not None and path.crossed_links == ()
+
+
+class TestBatchPathDegradation:
+    """The PR-3 batch engine under the same pathological conditions."""
+
+    def test_observe_batch_empty_request_list(self, tiny_internet):
+        from repro.net.link import ProvisioningConfig, provision_links
+        from repro.net.tcp import TCPModel
+
+        links = provision_links(tiny_internet,
+                                ProvisioningConfig(seed=7, directives=()))
+        model = TCPModel(links, seed=7)
+        assert model.observe_batch([]) == []
+        # An empty batch must not advance the noise stream either.
+        untouched = TCPModel(links, seed=7)
+        assert model._rng.random() == untouched._rng.random()
+
+    def test_campaign_survives_fully_silent_traceroutes(self, tiny_internet):
+        """A world where every router drops probes still produces a full
+        NDT campaign via the batched engine; only the traces go dark."""
+        from repro.measurement.traceroute import TracerouteEngine
+        from repro.net.link import ProvisioningConfig, provision_links
+        from repro.net.tcp import TCPModel
+        from repro.platforms.campaign import CampaignConfig, run_ndt_campaign
+        from repro.platforms.clients import ClientPopulation, PopulationConfig
+        from repro.platforms.mlab import MLabConfig, MLabPlatform
+
+        links = provision_links(tiny_internet,
+                                ProvisioningConfig(seed=7, directives=()))
+        population = ClientPopulation(
+            tiny_internet, PopulationConfig(seed=7, clients_per_million=8)
+        )
+        platform = MLabPlatform(tiny_internet, MLabConfig(seed=7, server_count=30))
+        forwarder = Forwarder(tiny_internet, BGPRouting(tiny_internet.graph))
+        silent = TracerouteEngine(
+            tiny_internet,
+            forwarder,
+            TracerouteConfig(seed=7, silent_router_fraction=1.0,
+                             destination_responds_prob=0.0),
+        )
+        result = run_ndt_campaign(
+            tiny_internet, population, platform, forwarder,
+            TCPModel(links, seed=7),
+            CampaignConfig(seed=7, days=3, total_tests=400),
+            traceroute_engine=silent,
+        )
+        assert len(result.ndt_records) == 400
+        assert result.traceroute_records
+        for trace in result.traceroute_records:
+            assert all(ip is None for ip in trace.router_hop_ips())
+        # The downstream analysis sees nothing rather than crashing.
+        oracle = OriginOracle(tiny_internet.prefix_table, tiny_internet.orgs,
+                              tiny_internet.ixps.prefixes())
+        inferred = MapIt(oracle, tiny_internet.graph, MapItConfig()).infer(
+            [t.router_hop_ips() for t in result.traceroute_records]
+        )
+        assert inferred.links == []
+
+    def test_link_tables_outside_campaign_window_match_scalar(self, tiny_internet):
+        """Hours before 0 and past the campaign's last day must hit the
+        same diurnal cells as the scalar path (both are 24h-periodic)."""
+        from repro.net.batch import LinkTableSet
+        from repro.net.link import ProvisioningConfig, provision_links
+
+        links = provision_links(tiny_internet,
+                                ProvisioningConfig(seed=7, directives=()))
+        tables = LinkTableSet(links)
+        link_ids = list(links.param_map())[:20]
+        for hour in (-30.0, -0.25, 24.0, 47.5, 24 * 28 + 3.0, 1e4):
+            for link_id in link_ids:
+                cell = tables.cell(link_id, hour)
+                params = links.params(link_id)
+                assert cell == (
+                    params.loss_rate(hour),
+                    params.queue_delay_ms(hour),
+                    params.utilization(hour) >= 1.0,
+                    params.available_bps(hour),
+                )
+                assert cell == tables.cell(link_id, hour % 24.0)

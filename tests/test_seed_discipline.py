@@ -1,0 +1,136 @@
+"""Seed-discipline audit: all randomness flows through repro.util.rng.
+
+The reproducibility story (same seed → bit-identical world, campaign,
+and tables) only holds if no module reaches for ambient randomness.
+This test walks the AST of every module under ``src/repro`` and rejects:
+
+* ``random.random()`` / ``random.choice`` etc. on the *module-level*
+  shared ``random`` instance (un-seeded global state);
+* ``random.seed``/``numpy.random.seed`` (mutating global state);
+* ``numpy.random.<dist>`` legacy global-state calls and bare
+  ``numpy.random.default_rng()`` with no derived seed.
+
+Importing the ``random`` *module* to construct ``random.Random(seed)``
+instances is fine — that is exactly what ``repro.util.rng`` does — so
+the audit targets call sites, not imports.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: The one module allowed to touch seeding primitives: it owns them.
+EXEMPT = {SRC / "util" / "rng.py"}
+
+#: random.<fn> calls that hit the shared module-level instance.
+GLOBAL_RANDOM_FNS = {
+    "random", "uniform", "randint", "randrange", "choice", "choices",
+    "sample", "shuffle", "gauss", "normalvariate", "betavariate",
+    "expovariate", "seed", "getrandbits", "triangular",
+}
+
+
+def _module_alias_targets(tree: ast.AST) -> dict[str, str]:
+    """Map local alias -> imported module path ('np' -> 'numpy')."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                aliases[name.asname or name.name.split(".")[0]] = name.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for name in node.names:
+                aliases.setdefault(name.asname or name.name,
+                                   f"{node.module}.{name.name}")
+    return aliases
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render an attribute chain like ``np.random.seed`` as a string."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _audit_module(path: pathlib.Path) -> list[str]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    aliases = _module_alias_targets(tree)
+    offenders: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        head, _, rest = dotted.partition(".")
+        target = aliases.get(head, head)
+        try:
+            shown = path.relative_to(SRC.parent)
+        except ValueError:  # self-test files live outside src/
+            shown = path.name
+        where = f"{shown}:{node.lineno}"
+        # random.<fn>(...) on the module-level shared instance.
+        if target == "random" and rest in GLOBAL_RANDOM_FNS:
+            offenders.append(f"{where}: global-state call {dotted}()")
+        # numpy.random legacy functions and global seeding.
+        full = f"{target}.{rest}" if rest else target
+        if ".random." in f"{full}." and full.startswith("numpy"):
+            tail = full.split("numpy.random.", 1)[-1]
+            if tail and tail not in {"default_rng", "Generator", "SeedSequence"}:
+                offenders.append(f"{where}: numpy global-state call {dotted}()")
+            elif tail == "default_rng" and not node.args and not node.keywords:
+                offenders.append(f"{where}: unseeded {dotted}()")
+    return offenders
+
+
+def _all_modules() -> list[pathlib.Path]:
+    return sorted(p for p in SRC.rglob("*.py") if p not in EXEMPT)
+
+
+@pytest.mark.parametrize("path", _all_modules(),
+                         ids=lambda p: str(p.relative_to(SRC)))
+def test_no_ambient_randomness(path):
+    offenders = _audit_module(path)
+    assert not offenders, "\n".join(offenders)
+
+
+def test_audit_actually_detects_offenders(tmp_path):
+    """Self-test: the auditor flags each forbidden pattern."""
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import random\n"
+        "import numpy as np\n"
+        "x = random.random()\n"
+        "random.seed(0)\n"
+        "y = np.random.uniform(0, 1)\n"
+        "np.random.seed(1)\n"
+        "g = np.random.default_rng()\n"
+    )
+    offenders = _audit_module(bad)
+    assert len(offenders) == 5
+
+    good = tmp_path / "good.py"
+    good.write_text(
+        "import random\n"
+        "import numpy as np\n"
+        "r = random.Random(7)\n"
+        "x = r.random()\n"
+        "g = np.random.default_rng(7)\n"
+        "y = g.uniform(0, 1)\n"
+    )
+    assert _audit_module(good) == []
+
+
+def test_exemption_is_exactly_the_rng_module():
+    assert {p.name for p in EXEMPT} == {"rng.py"}
+    for path in EXEMPT:
+        assert path.exists()

@@ -1,0 +1,53 @@
+"""Slow tier: every EXPERIMENTS.md shape gate against the real artifacts.
+
+This is ``python -m repro validate --seed 7`` as a pytest tier — the
+full-scale seed-7 study, every summary experiment, every gate. With a
+warm artifact cache (`.repro-cache`) the sweep takes ~1 minute; cold it
+re-runs the campaigns. Deselected from tier 1 via the ``slow`` marker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import StudyConfig, build_study
+from repro.experiments import EXPERIMENTS, SUMMARY_EXPERIMENTS
+from repro.validate import run_gates, validate_world
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def full_study():
+    return build_study(StudyConfig(seed=7))
+
+
+@pytest.fixture(scope="module")
+def summary_results(full_study):
+    return {
+        experiment_id: EXPERIMENTS[experiment_id](full_study)
+        for experiment_id in SUMMARY_EXPERIMENTS
+    }
+
+
+def test_full_scale_world_satisfies_every_contract(full_study):
+    report = validate_world(full_study)
+    assert report.ok, report.render()
+
+
+def test_every_summary_verdict_gate_passes(summary_results):
+    report = run_gates(summary_results)
+    assert report.ok, report.render()
+    passed, failed, skipped = report.counts()
+    assert skipped == 0
+    assert passed == len(SUMMARY_EXPERIMENTS)
+
+
+@pytest.mark.parametrize("experiment_id", SUMMARY_EXPERIMENTS)
+def test_gate_passes_standalone(experiment_id, summary_results):
+    """Each gate also holds without the rest of the sweep for context."""
+    from repro.validate.gates import gates_for, run_gate
+
+    for entry in gates_for(experiment_id):
+        check = run_gate(entry.name, summary_results[experiment_id])
+        assert check.passed, check.violations

@@ -1,0 +1,392 @@
+"""Shape gates against synthetic ExperimentResults.
+
+Each gate gets a hand-built healthy result (mirroring the real seed-7
+row/note shapes) plus regressed variants. This pins the gate *logic*
+without paying for real experiments; ``tests/test_shape_gates.py`` (the
+slow tier) runs the same gates against the real thing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import SUMMARY_EXPERIMENTS
+from repro.experiments.base import ExperimentResult
+from repro.validate import GATES, gated_experiment_ids, run_gate, run_gates
+from repro.validate.gates import gates_for
+
+
+def _result(experiment_id, rows, notes, headers=None):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"synthetic {experiment_id}",
+        headers=headers or [],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def _healthy(experiment_id):
+    return HEALTHY[experiment_id]()
+
+
+def _with_notes(result, **notes):
+    return dataclasses.replace(result, notes={**result.notes, **notes})
+
+
+# --------------------------------------------------------------------------
+# healthy synthetic results, shaped like the real seed-7 output
+
+
+def _tab1():
+    rows = [["Comcast", "23,329,000"], ["ATT", "16,028,000"],
+            ["TimeWarnerCable", "13,313,000"], ["Windstream", "1,103,000"]]
+    rows += [[f"ISP{i}", "2,000,000"] for i in range(8)]
+    return _result("tab1", rows, {"providers": 12, "paper_providers": 12,
+                                  "largest": "Comcast"})
+
+
+def _fig1():
+    fractions = {"Comcast": 0.832, "ATT": 0.935, "TimeWarnerCable": 0.775,
+                 "Verizon": 0.745, "CenturyLink": 0.790, "Charter": 0.501,
+                 "Cox": 0.481, "Frontier": 0.569, "Windstream": 0.046}
+    rows = [[isp, 1000, frac, 0.1, 0.05] for isp, frac in fractions.items()]
+    return _result("fig1", rows, {"overall_one_hop_fraction": 0.770})
+
+
+def _tab2():
+    rows = [
+        ["Cox", 22773, 11, 480, "120,80,40,... (11 links)", "nyc,chi,lax,dfw"],
+        ["Comcast", 7922, 33, 900, "50,50,50,... (33 links)", "nyc,chi"],
+    ]
+    return _result("tab2", rows, {
+        "Cox_total_links": 11, "Cox_parallel_groups": "10",
+        "comcast_sibling_asns_observed": 8, "Comcast_total_links": 33,
+    })
+
+
+def _tab3():
+    rows = [["nyc-us", "ATT", 210, 340, 150, 240, 20, 40, 60],
+            ["lax-us", "Comcast", 180, 260, 120, 190, 25, 35, 45]]
+    return _result("tab3", rows, {
+        "top5_org_agreement": 5,
+        "top5_order_ours": "ATT,CENT,VZ,COM-2,COM-5",
+        "top5_order_paper": "ATT,CENT,VZ,COM-2,COM-5",
+    })
+
+
+def _fig2():
+    rows = [["nyc-us", 200, 12, 60, 0.060, 0.300, 320, 0.050, 0.250],
+            ["lax-us", 180, 18, 50, 0.100, 0.278, 300, 0.080, 0.220]]
+    return _result("fig2", rows, {
+        "vps": 2, "speedtest_beats_mlab_vps": 2,
+        "mlab_as_frac_range": "0.034-0.114",
+        "speedtest_as_frac_range": "0.141-0.425",
+    })
+
+
+def _fig3():
+    rows = [["nyc-us", 40, 2, 24, 0.050, 0.600, 0.040, 0.500],
+            ["lax-us", 35, 6, 21, 0.171, 0.600, 0.150, 0.550]]
+    return _result("fig3", rows, {
+        "mlab_peer_frac_range": "0.016-0.200",
+        "speedtest_peer_frac_range": "0.500-0.700",
+    })
+
+
+def _fig4():
+    rows = [["nyc-us", 50, 8, 42, 0.840], ["lax-us", 44, 10, 36, 0.818]]
+    return _result("fig4", rows, {
+        "every_vp_has_uncovered_content_borders": True,
+        "alexa_uncovered_by_mlab_frac_range": "0.72-0.90",
+    })
+
+
+def _fig5():
+    return _result("fig5", [], {
+        "ATT_congested_at_0.5": True, "Comcast_congested_at_0.5": False,
+        "ATT_peak_median_mbps": 0.580, "ATT_relative_drop": 0.970,
+        "Comcast_peak_median_mbps": 24.410, "Comcast_relative_drop": 0.294,
+        "ATT_min_hour_samples": 5, "ATT_max_hour_samples": 50,
+        "Comcast_min_hour_samples": 7, "Comcast_max_hour_samples": 51,
+    })
+
+
+def _sec41():
+    rows = [["2015 window=120s", 5000, 0.733],
+            ["2015 window=600s", 5000, 0.748],
+            ["2015 window=1200s", 5000, 0.759]]
+    return _result("sec41", rows, {
+        "matched_after_2015": 0.756, "matched_either_2015": 0.818,
+        "matched_after_2017": 0.759,
+    })
+
+
+def _sec54():
+    rows = [["nyc-us", "speedtest", 0.28, 0.26, -0.02, 0.60, 0.55, -0.05],
+            ["lax-us", "speedtest", 0.31, 0.31, 0.00, 0.62, 0.62, 0.00]]
+    return _result("sec54", rows,
+                   {"rows_with_nonincreasing_all_coverage": "27/32"})
+
+
+def _sec62():
+    rows = [[0.1, 44, "many pairs..."], [0.2, 27, "fewer pairs..."],
+            [0.3, 10, "few pairs..."],
+            [0.4, 4, "Cogent->TimeWarnerCable, GTT->ATT, X->Y, Z->W"]]
+    return _result("sec62", rows, {
+        "ground_truth_congested_org_pairs":
+            "Cogent->TimeWarnerCable, GTT->ATT, TATA->Verizon",
+    })
+
+
+HEALTHY = {
+    "tab1": _tab1, "fig1": _fig1, "tab2": _tab2, "tab3": _tab3,
+    "fig2": _fig2, "fig3": _fig3, "fig4": _fig4, "fig5": _fig5,
+    "sec41": _sec41, "sec54": _sec54, "sec62": _sec62,
+}
+
+
+# --------------------------------------------------------------------------
+# registry shape
+
+
+class TestRegistry:
+    def test_every_summary_experiment_has_a_gate(self):
+        assert gated_experiment_ids() == list(SUMMARY_EXPERIMENTS)
+        for experiment_id in SUMMARY_EXPERIMENTS:
+            assert gates_for(experiment_id), f"{experiment_id} has no gate"
+
+    def test_gate_names_are_prefixed_by_experiment(self):
+        for entry in GATES.values():
+            assert entry.name.startswith(entry.experiment_id + ".")
+            assert entry.description  # docstring first line captured
+
+    def test_every_gate_passes_its_healthy_synthetic_result(self):
+        results = {eid: _healthy(eid) for eid in HEALTHY}
+        report = run_gates(results)
+        assert report.ok, report.render()
+        assert not any(r.skipped for r in report.results)
+
+    def test_partial_sweep_reports_absent_gates_as_skipped(self):
+        report = run_gates({"tab1": _healthy("tab1")})
+        by_name = {r.name: r for r in report.results}
+        assert not by_name["tab1.static_dataset"].skipped
+        assert by_name["fig5.diurnal_regimes"].skipped
+        assert report.ok  # skipped gates never fail a sweep
+
+    def test_crashing_gate_is_a_named_failure_not_a_crash(self):
+        # An empty result starves every note lookup.
+        broken = _result("fig5", [], {})
+        check = run_gate("fig5.diurnal_regimes", broken)
+        assert not check.passed
+        assert "raised" in check.violations[0]
+
+
+# --------------------------------------------------------------------------
+# per-gate regressions: one mutation per verdict clause
+
+
+def _fails(name, result, results=None):
+    check = run_gate(name, result, results)
+    assert not check.passed, f"{name} accepted a regressed result"
+    return check.violations
+
+
+class TestTab1:
+    def test_wrong_largest_provider(self):
+        _fails("tab1.static_dataset", _with_notes(_healthy("tab1"), largest="ATT"))
+
+    def test_small_provider_leaks_in(self):
+        result = _healthy("tab1")
+        result.rows.append(["Tiny ISP", "900,000"])
+        _fails("tab1.static_dataset", result)
+
+
+class TestFig1:
+    def test_hop_ordering_inverted(self):
+        result = _healthy("fig1")
+        for row in result.rows:
+            if row[0] == "Charter":
+                row[2] = 0.95  # a 5-10 ISP out-hops the top-5 floor
+        violations = _fails("fig1.hop_ordering", result)
+        assert any("does not clear" in v for v in violations)
+
+    def test_windstream_no_longer_lowest(self):
+        result = _healthy("fig1")
+        for row in result.rows:
+            if row[0] == "Windstream":
+                row[2] = 0.50
+        _fails("fig1.hop_ordering", result)
+
+    def test_overall_fraction_out_of_band(self):
+        _fails("fig1.hop_ordering",
+               _with_notes(_healthy("fig1"), overall_one_hop_fraction=0.30))
+
+
+class TestTab2:
+    def test_single_link_world(self):
+        _fails("tab2.link_diversity",
+               _with_notes(_healthy("tab2"), Cox_total_links=1))
+
+    def test_no_parallel_groups(self):
+        _fails("tab2.link_diversity",
+               _with_notes(_healthy("tab2"), Cox_parallel_groups="1,1,2"))
+
+    def test_uniform_tests_and_single_metro(self):
+        result = _healthy("tab2")
+        for row in result.rows:
+            row[4] = "50,50,50 (3 links)"
+            row[5] = "nyc"
+        violations = _fails("tab2.link_diversity", result)
+        assert any("metros" in v for v in violations)
+        assert any("uniform" in v for v in violations)
+
+
+class TestTab3:
+    def test_order_disagreement(self):
+        _fails("tab3.org_ordering",
+               _with_notes(_healthy("tab3"), top5_org_agreement=3))
+
+    def test_router_level_below_as_level(self):
+        result = _healthy("tab3")
+        result.rows[0][3] = result.rows[0][2] - 10
+        violations = _fails("tab3.org_ordering", result)
+        assert any("router-level" in v for v in violations)
+
+
+class TestFig2:
+    def test_mlab_beats_speedtest_somewhere(self):
+        result = _healthy("fig2")
+        result.rows[0][4], result.rows[0][5] = 0.4, 0.1
+        _fails("fig2.platform_coverage",
+               _with_notes(result, speedtest_beats_mlab_vps=1))
+
+    def test_numerator_exceeds_denominator(self):
+        result = _healthy("fig2")
+        result.rows[0][2] = result.rows[0][1] + 50
+        violations = _fails("fig2.platform_coverage", result)
+        assert any("denominator" in v for v in violations)
+
+    def test_mlab_coverage_no_longer_small(self):
+        _fails("fig2.platform_coverage",
+               _with_notes(_healthy("fig2"), mlab_as_frac_range="0.034-0.500"))
+
+
+class TestFig3:
+    def test_peer_band_escape(self):
+        _fails("fig3.peer_coverage",
+               _with_notes(_healthy("fig3"),
+                           speedtest_peer_frac_range="0.010-0.700"))
+
+    def test_peers_not_better_than_all(self):
+        fig2 = _healthy("fig2")
+        result = _healthy("fig3")
+        for row in result.rows:
+            row[5] = 0.15  # below fig2's st AS fractions
+        _fails("fig3.peer_coverage", result,
+               {"fig2": fig2, "fig3": result})
+
+    def test_standalone_run_skips_the_fig2_comparison(self):
+        result = _healthy("fig3")
+        for row in result.rows:
+            row[5] = 0.55
+        check = run_gate("fig3.peer_coverage", result)  # no fig2 available
+        assert check.passed
+
+
+class TestFig4:
+    def test_a_vp_with_full_mlab_content_coverage(self):
+        result = _healthy("fig4")
+        result.rows[0][3] = 0
+        _fails("fig4.content_gap", result)
+
+    def test_band_escape(self):
+        _fails("fig4.content_gap",
+               _with_notes(_healthy("fig4"),
+                           alexa_uncovered_by_mlab_frac_range="0.20-0.90"))
+
+
+class TestFig5:
+    def test_att_recovers(self):
+        regressed = _with_notes(_healthy("fig5"), **{
+            "ATT_congested_at_0.5": False,
+            "ATT_peak_median_mbps": 12.0,
+            "ATT_relative_drop": 0.2,
+        })
+        violations = _fails("fig5.diurnal_regimes", regressed)
+        assert len(violations) >= 3
+
+    def test_comcast_collapses(self):
+        regressed = _with_notes(_healthy("fig5"), **{
+            "Comcast_congested_at_0.5": True,
+            "Comcast_peak_median_mbps": 1.0,
+            "Comcast_relative_drop": 0.9,
+        })
+        _fails("fig5.diurnal_regimes", regressed)
+
+    def test_sample_counts_flatten(self):
+        _fails("fig5.diurnal_regimes",
+               _with_notes(_healthy("fig5"), ATT_min_hour_samples=40,
+                           ATT_max_hour_samples=50))
+
+
+class TestSec41:
+    def test_window_sweep_not_monotone(self):
+        result = _healthy("sec41")
+        result.rows[2][2] = 0.60
+        violations = _fails("sec41.matching_window", result)
+        assert any("fell" in v for v in violations)
+
+    def test_either_below_after(self):
+        _fails("sec41.matching_window",
+               _with_notes(_healthy("sec41"), matched_either_2015=0.50))
+
+    def test_matching_out_of_band(self):
+        _fails("sec41.matching_window",
+               _with_notes(_healthy("sec41"), matched_after_2017=0.99))
+
+
+class TestSec54:
+    def test_coverage_growth_breaks_stagnation(self):
+        _fails("sec54.temporal_stagnation",
+               _with_notes(_healthy("sec54"),
+                           rows_with_nonincreasing_all_coverage="10/32"))
+
+    def test_fraction_out_of_unit_interval(self):
+        result = _healthy("sec54")
+        result.rows[0][2] = 1.4
+        _fails("sec54.temporal_stagnation", result)
+
+
+class TestSec62:
+    def test_congested_set_grows_with_threshold(self):
+        result = _healthy("sec62")
+        result.rows[2][1] = 30  # 27 -> 30 while the threshold rises
+        _fails("sec62.threshold_ambiguity", result)
+
+    def test_strictest_threshold_empties(self):
+        result = _healthy("sec62")
+        result.rows[-1][1] = 0
+        _fails("sec62.threshold_ambiguity", result)
+
+    def test_ground_truth_pair_vanishes(self):
+        result = _healthy("sec62")
+        result.rows[-1][2] = "X->Y, Z->W"
+        violations = _fails("sec62.threshold_ambiguity", result)
+        assert any("ground-truth" in v for v in violations)
+
+    def test_narrow_sweep_rejected(self):
+        result = _healthy("sec62")
+        for row in result.rows:
+            row[1] = 4
+        _fails("sec62.threshold_ambiguity", result)
+
+
+@pytest.mark.parametrize("experiment_id", sorted(HEALTHY))
+def test_each_gate_reports_only_for_its_experiment(experiment_id):
+    for entry in gates_for(experiment_id):
+        check = run_gate(entry.name, _healthy(experiment_id))
+        assert check.kind == "gate"
+        assert check.passed, check.violations
