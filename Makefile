@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # Coverage floor for `make coverage` (core + validate packages).
 COV_FLOOR ?= 75
 
-.PHONY: test test-slow validate validate-smoke fuzz coverage bench experiments trace-smoke clean-cache
+.PHONY: test test-slow validate validate-smoke fuzz coverage bench bench-scaling experiments trace-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -53,6 +53,13 @@ trace-smoke:
 
 bench:
 	$(PYTHON) benchmarks/run_bench.py
+
+# Serial vs --jobs {2,4} medians for the compiled-world/batched-traceroute
+# work; writes BENCH_PR5.json and fails on the scaling gates. SMOKE=1 is
+# the CI shape: fewer repeats, no full-scale fig2, machine-calibrated
+# gates recorded but not enforced.
+bench-scaling:
+	$(PYTHON) benchmarks/run_bench.py --pr5-only $(if $(SMOKE),--smoke)
 
 experiments:
 	$(PYTHON) -m repro.experiments all

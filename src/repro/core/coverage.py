@@ -22,7 +22,8 @@ from repro.inference.bdrmap import _first_departure, collect_bdrmap_traces, org_
 from repro.inference.borders import OriginOracle
 from repro.inference.mapit import MapIt, MapItConfig
 from repro.measurement.records import TracerouteRecord
-from repro.measurement.traceroute import TracerouteConfig, TracerouteEngine
+from repro.measurement.traceroute import TraceRequest, TracerouteConfig, TracerouteEngine
+from repro.net.compiled import compile_world, compiled_enabled
 from repro.obs.log import get_logger
 from repro.obs.trace import span
 from repro.platforms.ark import ArkVP
@@ -118,20 +119,32 @@ def coverage_analysis(
 ) -> CoverageReport:
     """Run the full §5 coverage analysis for one VP."""
     vp_org = oracle.canonical(vp.asn)
-    all_paths: list[list[int | None]] = [t.router_hop_ips() for t in bdrmap_traces]
-    for traces in platform_traces.values():
-        all_paths.extend(t.router_hop_ips() for t in traces)
+    # Hop-IP sequences are extracted once per trace and shared between the
+    # MAP-IT corpus and the per-set border walks below.
+    bdrmap_paths: list[list[int | None]] = [t.router_hop_ips() for t in bdrmap_traces]
+    platform_paths: dict[str, list[list[int | None]]] = {
+        name: [t.router_hop_ips() for t in traces]
+        for name, traces in platform_traces.items()
+    }
+    all_paths: list[list[int | None]] = list(bdrmap_paths)
+    for paths in platform_paths.values():
+        all_paths.extend(paths)
 
-    ownership = MapIt(oracle, internet.graph, mapit_config).infer(all_paths).ownership
     observed = {ip for path in all_paths for ip in path if ip is not None}
+    if compiled_enabled():
+        # Prefill the oracle's per-address caches for the whole corpus in
+        # one vectorized LPM pass — identical values to the trie walk, so
+        # this is invisible in results.
+        compile_world(internet).prime_oracle(oracle, observed)
+    ownership = MapIt(oracle, internet.graph, mapit_config).infer(all_paths).ownership
     resolver = alias_resolver if alias_resolver is not None else AliasResolver(internet)
     aliases = resolver.resolve(observed)
 
-    def borders_of(traces: list[TracerouteRecord], name: str) -> BorderSet:
+    def borders_of(paths: list[list[int | None]], name: str) -> BorderSet:
         as_level: set[int] = set()
         router_level: set[RouterBorder] = set()
-        for trace in traces:
-            crossing = _first_departure(trace.router_hop_ips(), ownership, vp_org, oracle)
+        for path in paths:
+            crossing = _first_departure(path, ownership, vp_org, oracle)
             if crossing is None:
                 continue
             near_ip, _far_ip, neighbor = crossing
@@ -143,9 +156,9 @@ def coverage_analysis(
             router_level=frozenset(router_level),
         )
 
-    discovered = borders_of(bdrmap_traces, "bdrmap")
+    discovered = borders_of(bdrmap_paths, "bdrmap")
     reachable = {
-        name: borders_of(traces, name) for name, traces in platform_traces.items()
+        name: borders_of(platform_paths[name], name) for name in platform_traces
     }
     relationships = {
         neighbor: org_relationship(internet, vp_org, neighbor)
@@ -211,10 +224,18 @@ def vp_coverage_report(
 
 
 def _coverage_unit(args: tuple) -> CoverageReport:
-    """Pool worker: rebuild (or fork-inherit) the study, run one VP."""
-    from repro.core.pipeline import build_study
+    """Pool worker: one VP sweep against the worker's memoized study.
 
-    study_config, vp_index, alexa_count, max_prefixes = args
+    The study config travels once per worker in the pool *context* (see
+    :func:`repro.core.pipeline.pool_world_setup`), so each task ships
+    only ``(vp_index, alexa_count, max_prefixes)`` and the study lookup
+    here is a memo hit, not a rebuild.
+    """
+    from repro.core.pipeline import build_study
+    from repro.util.parallel import worker_context
+
+    vp_index, alexa_count, max_prefixes = args
+    study_config, _shared_handle = worker_context()
     study = build_study(study_config)
     vp = study.ark_vps()[vp_index]
     return vp_coverage_report(study, vp, alexa_count=alexa_count, max_prefixes=max_prefixes)
@@ -230,14 +251,28 @@ def collect_coverage_reports(
 
     Results are keyed by VP label in Table 3 row order whatever ``jobs``
     is; parallel and serial runs return equal reports record-for-record.
+    Workers fork-inherit (or, under spawn, attach the shared-memory
+    export of) the already-built world instead of rebuilding it per task.
     """
+    from repro.core.pipeline import pool_world_setup, shared_world_export
+
     vps = study.ark_vps()
-    units = [
-        (study.config, index, alexa_count, max_prefixes) for index in range(len(vps))
-    ]
+    units = [(index, alexa_count, max_prefixes) for index in range(len(vps))]
     _log.info("collecting coverage reports for %d VPs", len(vps))
-    with span("coverage_sweep", vps=len(vps)):
-        reports = parallel_map(_coverage_unit, units, jobs=jobs)
+    export = shared_world_export(study, jobs)
+    try:
+        context = (study.config, export.handle if export is not None else None)
+        with span("coverage_sweep", vps=len(vps)):
+            reports = parallel_map(
+                _coverage_unit,
+                units,
+                jobs=jobs,
+                context=context,
+                setup=pool_world_setup,
+            )
+    finally:
+        if export is not None:
+            export.close(unlink=True)
     return {vp.label: report for vp, report in zip(vps, reports)}
 
 
@@ -248,12 +283,13 @@ def collect_target_traces(
     targets: list[tuple[int, int, str]],
     label: str,
 ) -> list[TracerouteRecord]:
-    """Traceroute from a VP toward (ip, asn, city) targets."""
-    traces: list[TracerouteRecord] = []
-    for ip, asn, city in targets:
-        if asn not in internet.graph:
-            continue
-        record = engine.trace(
+    """Traceroute from a VP toward (ip, asn, city) targets.
+
+    Dispatched as one :meth:`TracerouteEngine.trace_batch` call —
+    byte-identical to tracing the targets one at a time."""
+    graph = internet.graph
+    requests = [
+        TraceRequest(
             src_ip=vp.ip,
             src_asn=vp.asn,
             src_city=vp.city,
@@ -263,6 +299,7 @@ def collect_target_traces(
             timestamp_s=0.0,
             flow_key=("coverage", label, vp.code, ip),
         )
-        if record is not None:
-            traces.append(record)
-    return traces
+        for ip, asn, city in targets
+        if asn in graph
+    ]
+    return [record for record in engine.trace_batch(requests) if record is not None]

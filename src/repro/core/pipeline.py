@@ -29,8 +29,23 @@ from repro.routing.forwarding import Forwarder
 from repro.topology.generator import InternetConfig, generate_internet
 from repro.topology.internet import Internet
 from repro.util import artifact_cache
+from repro.util.parallel import register_worker_stats
 
 _log = get_logger(__name__)
+
+#: Per-process study-memo traffic, surfaced through
+#: ``pool_stats()["worker_stats"]["study_cache"]`` after a fan-out — the
+#: direct check that workers reused their world instead of rebuilding it
+#: per unit.
+_STUDY_POOL_STATS = {"hits": 0, "rebuilds": 0}
+
+
+def study_cache_stats() -> dict[str, int]:
+    """Build-vs-memo counts for this process (see pool worker_stats)."""
+    return dict(_STUDY_POOL_STATS)
+
+
+register_worker_stats("study_cache", study_cache_stats)
 
 #: The congestion scenario of the 2014/2015 M-Lab reports: AT&T's GTT
 #: interconnects saturate at peak (the Figure 5(a) case); Verizon↔TATA and
@@ -74,6 +89,14 @@ class Study:
     oracle: OriginOracle
     traceroute_engine: TracerouteEngine
     org_names: dict[int, str] = field(default_factory=dict)
+    #: Memoized pure derivations (VP set, Alexa target lists) — per-VP
+    #: pool units call these once each, so they are worth caching.
+    _ark_vps_cache: list[ArkVP] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _alexa_cache: dict[int, list[AlexaTarget]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def run_campaign(self, campaign: CampaignConfig) -> CampaignResult:
         """Run a crowdsourced NDT campaign in this world.
@@ -108,10 +131,17 @@ class Study:
         )
 
     def ark_vps(self) -> list[ArkVP]:
-        return make_ark_vps(self.internet)
+        vps = self._ark_vps_cache
+        if vps is None:
+            vps = self._ark_vps_cache = make_ark_vps(self.internet)
+        return vps
 
     def alexa_targets(self, count: int = 500) -> list[AlexaTarget]:
-        return make_alexa_targets(self.internet, count=count, seed=self.config.seed)
+        targets = self._alexa_cache.get(count)
+        if targets is None:
+            targets = make_alexa_targets(self.internet, count=count, seed=self.config.seed)
+            self._alexa_cache[count] = targets
+        return targets
 
     def org_label(self, asn: int) -> str:
         canonical = self.oracle.canonical(asn)
@@ -155,9 +185,11 @@ def build_study(config: StudyConfig | None = None) -> Study:
         config = StudyConfig()
     cached = _STUDY_CACHE.get(config)
     if cached is not None:
+        _STUDY_POOL_STATS["hits"] += 1
         _log.debug("build_study memo hit (seed=%d scale=%s)", config.seed, config.scale)
         return cached
 
+    _STUDY_POOL_STATS["rebuilds"] += 1
     start = time.perf_counter()
     with span("build_study", seed=config.seed, scale=config.scale, epoch=config.epoch):
         with span("generate_internet"):
@@ -222,3 +254,39 @@ def build_study(config: StudyConfig | None = None) -> Study:
 def clear_study_cache() -> None:
     """Drop memoized studies (tests use this to control memory)."""
     _STUDY_CACHE.clear()
+
+
+def pool_world_setup(context: tuple) -> None:
+    """``parallel_map`` worker setup for per-VP fan-outs.
+
+    ``context`` is ``(study_config, shared_handle_or_None)``. Attaching
+    the shared compiled world first (when the parent exported one, i.e.
+    under spawn) seeds the compile cache, so the study build that follows
+    reuses the parent's read-only pages instead of recompiling. Either
+    way the study is built (or fork-inherited via the memo) exactly once
+    per worker; every unit then hits the memo.
+    """
+    study_config, shared_handle = context
+    if shared_handle is not None:
+        from repro.net.compiled import attach_shared
+
+        attach_shared(shared_handle)
+    build_study(study_config)
+
+
+def shared_world_export(study: Study, jobs: int | None):
+    """Export ``study``'s compiled world to shared memory when useful.
+
+    Returns a :class:`repro.net.compiled.SharedWorldExport` (caller must
+    keep it alive for the pool's lifetime, then ``close(unlink=True)``)
+    or ``None`` when fan-out is serial, workers fork (copy-on-write
+    already shares the pages), or compiled worlds are disabled.
+    """
+    from repro.net.compiled import compile_world, compiled_enabled
+    from repro.util.parallel import pool_start_method, resolve_jobs
+
+    if resolve_jobs(jobs) <= 1 or not compiled_enabled():
+        return None
+    if pool_start_method() == "fork":
+        return None
+    return compile_world(study.internet).export_shared()

@@ -24,7 +24,7 @@ from repro.inference.borders import OriginOracle
 from repro.inference.mapit import MapIt, MapItConfig
 from repro.measurement.records import TracerouteRecord
 from repro.obs.log import get_logger
-from repro.measurement.traceroute import TracerouteConfig, TracerouteEngine
+from repro.measurement.traceroute import TraceRequest, TracerouteConfig, TracerouteEngine
 from repro.platforms.ark import ArkVP
 from repro.topology.asgraph import Relationship
 from repro.topology.internet import Internet
@@ -86,31 +86,37 @@ def collect_bdrmap_traces(
     engine: TracerouteEngine,
     max_prefixes: int | None = None,
 ) -> list[TracerouteRecord]:
-    """Collection phase: traceroute from the VP toward every routed prefix."""
+    """Collection phase: traceroute from the VP toward every routed prefix.
+
+    The whole sweep goes through :meth:`TracerouteEngine.trace_batch` —
+    byte-identical to tracing each prefix in turn, but path resolution and
+    rendering are amortized across the batch.
+    """
     _log.debug("bdrmap collection from %s toward routed prefixes", vp.label)
-    traces: list[TracerouteRecord] = []
     prefixes = internet.routed_prefixes()
     if max_prefixes is not None:
         prefixes = prefixes[:max_prefixes]
+    graph = internet.graph
+    requests: list[TraceRequest] = []
     for prefix in prefixes:
-        if prefix.asn == 0 or prefix.asn not in internet.graph:
+        if prefix.asn == 0 or prefix.asn not in graph:
             continue  # IXP space and unrouted pools are not probe targets
-        dst_as = internet.graph.get(prefix.asn)
+        dst_as = graph.get(prefix.asn)
         if not dst_as.home_cities:
             continue
-        record = engine.trace(
-            src_ip=vp.ip,
-            src_asn=vp.asn,
-            src_city=vp.city,
-            dst_ip=prefix.base + 1,
-            dst_asn=prefix.asn,
-            dst_city=dst_as.home_cities[0],
-            timestamp_s=0.0,
-            flow_key=("bdrmap", vp.code, prefix.base),
+        requests.append(
+            TraceRequest(
+                src_ip=vp.ip,
+                src_asn=vp.asn,
+                src_city=vp.city,
+                dst_ip=prefix.base + 1,
+                dst_asn=prefix.asn,
+                dst_city=dst_as.home_cities[0],
+                timestamp_s=0.0,
+                flow_key=("bdrmap", vp.code, prefix.base),
+            )
         )
-        if record is not None:
-            traces.append(record)
-    return traces
+    return [record for record in engine.trace_batch(requests) if record is not None]
 
 
 def run_bdrmap(
@@ -180,10 +186,17 @@ def run_bdrmap_for_vp(
 
 
 def _bdrmap_unit(args: tuple) -> BdrmapResult:
-    """Pool worker: rebuild (or fork-inherit) the study, run one VP."""
-    from repro.core.pipeline import build_study
+    """Pool worker: one VP inventory against the worker's memoized study.
 
-    study_config, vp_index, max_prefixes = args
+    The study config rides in the pool context (one ship per worker, see
+    :func:`repro.core.pipeline.pool_world_setup`); tasks carry only
+    ``(vp_index, max_prefixes)`` and this lookup is a memo hit.
+    """
+    from repro.core.pipeline import build_study
+    from repro.util.parallel import worker_context
+
+    vp_index, max_prefixes = args
+    study_config, _shared_handle = worker_context()
     study = build_study(study_config)
     vp = study.ark_vps()[vp_index]
     return run_bdrmap_for_vp(study, vp, max_prefixes=max_prefixes)
@@ -196,10 +209,26 @@ def bdrmap_all_vps(
 ) -> list[BdrmapResult]:
     """Border inventories for every Ark VP, optionally fanned out across
     processes. Results come back in Table 3 row order whatever ``jobs``
-    is, identical to the serial walk record-for-record."""
+    is, identical to the serial walk record-for-record. Workers inherit
+    the built world by fork (or attach the shared-memory export under
+    spawn) rather than rebuilding it per task."""
+    from repro.core.pipeline import pool_world_setup, shared_world_export
+
     vps = study.ark_vps()
-    units = [(study.config, index, max_prefixes) for index in range(len(vps))]
-    return parallel_map(_bdrmap_unit, units, jobs=jobs)
+    units = [(index, max_prefixes) for index in range(len(vps))]
+    export = shared_world_export(study, jobs)
+    try:
+        context = (study.config, export.handle if export is not None else None)
+        return parallel_map(
+            _bdrmap_unit,
+            units,
+            jobs=jobs,
+            context=context,
+            setup=pool_world_setup,
+        )
+    finally:
+        if export is not None:
+            export.close(unlink=True)
 
 
 def org_relationship(

@@ -1,0 +1,504 @@
+"""Compiled read-only world snapshots: structure-of-arrays for the hot sweeps.
+
+The object graph (:class:`~repro.topology.internet.Internet`) is the
+right representation for construction and for correctness-first code, but
+the §5 coverage sweep hammers a handful of queries millions of times:
+longest-prefix-match origin lookups, AS-adjacency/relationship tests, and
+router-fabric interface walks. :class:`CompiledWorld` flattens exactly
+those into numpy arrays once per world and answers them with
+``searchsorted`` and CSR slicing — vectorized for whole hop corpora at a
+time, and cheap to hand to worker processes.
+
+Three invariants the rest of the PR leans on:
+
+* **agreement** — every compiled answer is *equal* to the object-graph
+  answer (enforced by the ``compiled.world_agreement`` validate contract
+  and the equivalence tests). The LPM table is the prefix trie flattened
+  into disjoint half-open intervals, so a binary search reproduces the
+  trie's longest-match semantics bit for bit.
+* **one build per world** — :func:`compile_world` memoizes per world
+  digest, so parallel per-VP fan-out (fork *or* spawn) compiles once and
+  shares.
+* **shareable** — :meth:`CompiledWorld.export_shared` moves every array
+  into ``multiprocessing.shared_memory`` blocks; a picklable
+  :class:`SharedWorldHandle` lets spawn-started workers attach the same
+  pages instead of unpickling a copy of the world.
+
+``REPRO_COMPILED=0`` disables the compiled fast paths everywhere (the
+escape hatch for debugging); consumers fall back to the object graph and
+produce identical results, just slower.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import metrics
+from repro.obs.log import get_logger
+from repro.topology.asgraph import Relationship
+from repro.topology.internet import Internet
+
+_log = get_logger(__name__)
+
+_BUILDS = metrics.counter("compiled.builds")
+_CACHE_HITS = metrics.counter("compiled.cache_hits")
+_BATCH_LOOKUPS = metrics.counter("compiled.batch_lookups")
+_SHM_EXPORTS = metrics.counter("compiled.shm_exports")
+_SHM_ATTACHES = metrics.counter("compiled.shm_attaches")
+
+#: Relationship enum <-> int8 code (order is part of the snapshot format).
+_REL_CODES: tuple[Relationship, ...] = (
+    Relationship.CUSTOMER,
+    Relationship.PROVIDER,
+    Relationship.PEER,
+)
+_CODE_OF_REL = {rel: code for code, rel in enumerate(_REL_CODES)}
+
+#: Sentinel origin for "no announcement covers this address".
+NO_ORIGIN = -1
+
+
+def compiled_enabled() -> bool:
+    """Whether the compiled fast paths are active (``REPRO_COMPILED=0`` off)."""
+    return os.environ.get("REPRO_COMPILED", "1").lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+def _flatten_prefixes(
+    prefixes: list, # list[Prefix]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten a nested prefix family into disjoint LPM intervals.
+
+    Announced prefixes are power-of-two aligned blocks, so any two are
+    either disjoint or nested — a laminar family. A single sweep with a
+    stack of open (outer) prefixes emits, for every elementary interval,
+    the *innermost* covering prefix, which is precisely the trie's
+    longest-match winner. Returns (starts, ends, origins) sorted by
+    start; gaps between announcements are simply absent from the table.
+    """
+    spans = sorted(
+        ((p.base, p.base + (1 << (32 - p.length)), p.asn) for p in prefixes),
+        key=lambda s: (s[0], -(s[1] - s[0])),
+    )
+    starts: list[int] = []
+    ends: list[int] = []
+    origins: list[int] = []
+
+    def emit(lo: int, hi: int, asn: int) -> None:
+        if lo < hi:
+            starts.append(lo)
+            ends.append(hi)
+            origins.append(asn)
+
+    stack: list[tuple[int, int]] = []  # (end, asn) of open outer prefixes
+    pos = 0
+    for base, end, asn in spans:
+        while stack and stack[-1][0] <= base:
+            top_end, top_asn = stack.pop()
+            emit(pos, top_end, top_asn)
+            pos = max(pos, top_end)
+        if stack:
+            emit(pos, base, stack[-1][1])
+        pos = max(pos, base)
+        stack.append((end, asn))
+    while stack:
+        top_end, top_asn = stack.pop()
+        emit(pos, top_end, top_asn)
+        pos = max(pos, top_end)
+    return (
+        np.asarray(starts, dtype=np.int64),
+        np.asarray(ends, dtype=np.int64),
+        np.asarray(origins, dtype=np.int64),
+    )
+
+
+@dataclass
+class CompiledWorld:
+    """Read-only structure-of-arrays snapshot of one generated world.
+
+    Every field is a numpy array (or a small python dict built from one),
+    so the whole snapshot can be exported to shared memory and re-attached
+    in another process without pickling the object graph.
+    """
+
+    digest: str
+    seed: int
+
+    # --- longest-prefix match (public BGP view) ---
+    lpm_starts: np.ndarray  # int64, sorted disjoint interval starts
+    lpm_ends: np.ndarray  # int64, half-open interval ends
+    lpm_origins: np.ndarray  # int64, origin ASN per interval
+
+    # --- IXP address screening ---
+    ixp_starts: np.ndarray  # int64
+    ixp_ends: np.ndarray  # int64
+
+    # --- AS adjacency, CSR over sorted ASNs ---
+    adj_asns: np.ndarray  # int64, sorted ASNs
+    adj_indptr: np.ndarray  # int64, len == len(adj_asns) + 1
+    adj_neighbors: np.ndarray  # int64, neighbor ASNs, sorted per row
+    adj_rel: np.ndarray  # int8, _REL_CODES code per neighbor entry
+
+    # --- router fabric: interfaces ---
+    iface_ips: np.ndarray  # int64, sorted interface addresses
+    iface_router: np.ndarray  # int64, owning router id per address
+    iface_owner_asn: np.ndarray  # int64, ground-truth owner AS per address
+
+    # --- router fabric: router -> interface CSR ---
+    router_ids: np.ndarray  # int64, sorted router ids
+    router_indptr: np.ndarray  # int64
+    router_iface_ips: np.ndarray  # int64, interface ips in fabric port order
+
+    # --- interconnect link table, row-indexed by sorted link id ---
+    link_ids: np.ndarray  # int64, sorted
+    link_cols: np.ndarray  # int64, shape (n_links, 8): a_asn b_asn a_router
+    #                        b_router a_ip b_ip numbered_from group_id
+
+    #: Lazy python-side index: ASN -> row in adj_asns (built on first use,
+    #: never shipped across processes).
+    _asn_row: dict[int, int] | None = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # LPM / IXP
+
+    def origin_batch(self, ips: np.ndarray) -> np.ndarray:
+        """Vectorized LPM origin ASN per address (``NO_ORIGIN`` for none)."""
+        _BATCH_LOOKUPS.inc()
+        ips = np.asarray(ips, dtype=np.int64)
+        idx = np.searchsorted(self.lpm_starts, ips, side="right") - 1
+        idx_clipped = np.maximum(idx, 0)
+        covered = (idx >= 0) & (ips < self.lpm_ends[idx_clipped])
+        return np.where(covered, self.lpm_origins[idx_clipped], NO_ORIGIN)
+
+    def origin(self, ip: int) -> int | None:
+        """Scalar LPM origin ASN, or None when no announcement covers it."""
+        idx = int(np.searchsorted(self.lpm_starts, ip, side="right")) - 1
+        if idx < 0 or ip >= int(self.lpm_ends[idx]):
+            return None
+        return int(self.lpm_origins[idx])
+
+    def is_ixp_batch(self, ips: np.ndarray) -> np.ndarray:
+        """Vectorized IXP-prefix membership test."""
+        ips = np.asarray(ips, dtype=np.int64)
+        if not len(self.ixp_starts):
+            return np.zeros(len(ips), dtype=bool)
+        idx = np.searchsorted(self.ixp_starts, ips, side="right") - 1
+        idx_clipped = np.maximum(idx, 0)
+        return (idx >= 0) & (ips < self.ixp_ends[idx_clipped])
+
+    def is_ixp(self, ip: int) -> bool:
+        if not len(self.ixp_starts):
+            return False
+        idx = int(np.searchsorted(self.ixp_starts, ip, side="right")) - 1
+        return idx >= 0 and ip < int(self.ixp_ends[idx])
+
+    # ------------------------------------------------------------------
+    # AS adjacency
+
+    def _row_of(self, asn: int) -> int | None:
+        index = self._asn_row
+        if index is None:
+            index = {int(a): i for i, a in enumerate(self.adj_asns)}
+            self._asn_row = index
+        return index.get(asn)
+
+    def relationship(self, a: int, b: int) -> Relationship | None:
+        """Relationship of ``b`` from ``a``'s point of view, or None."""
+        row = self._row_of(a)
+        if row is None:
+            return None
+        lo, hi = int(self.adj_indptr[row]), int(self.adj_indptr[row + 1])
+        pos = lo + int(np.searchsorted(self.adj_neighbors[lo:hi], b))
+        if pos >= hi or int(self.adj_neighbors[pos]) != b:
+            return None
+        return _REL_CODES[int(self.adj_rel[pos])]
+
+    def neighbors_of(self, asn: int) -> dict[int, Relationship]:
+        row = self._row_of(asn)
+        if row is None:
+            return {}
+        lo, hi = int(self.adj_indptr[row]), int(self.adj_indptr[row + 1])
+        return {
+            int(n): _REL_CODES[int(c)]
+            for n, c in zip(self.adj_neighbors[lo:hi], self.adj_rel[lo:hi])
+        }
+
+    # ------------------------------------------------------------------
+    # router fabric
+
+    def owner_asn_of_ip(self, ip: int) -> int | None:
+        """Ground-truth owner AS of an interface address (fabric view)."""
+        pos = int(np.searchsorted(self.iface_ips, ip))
+        if pos >= len(self.iface_ips) or int(self.iface_ips[pos]) != ip:
+            return None
+        return int(self.iface_owner_asn[pos])
+
+    def interface_ips_of(self, router_id: int) -> tuple[int, ...]:
+        """Interface addresses of one router, in fabric (port) order."""
+        pos = int(np.searchsorted(self.router_ids, router_id))
+        if pos >= len(self.router_ids) or int(self.router_ids[pos]) != router_id:
+            return ()
+        lo, hi = int(self.router_indptr[pos]), int(self.router_indptr[pos + 1])
+        return tuple(int(ip) for ip in self.router_iface_ips[lo:hi])
+
+    def link_row(self, link_id: int) -> tuple[int, ...] | None:
+        """One interconnect as a flat tuple (a_asn, b_asn, a_router,
+        b_router, a_ip, b_ip, numbered_from_asn, group_id)."""
+        pos = int(np.searchsorted(self.link_ids, link_id))
+        if pos >= len(self.link_ids) or int(self.link_ids[pos]) != link_id:
+            return None
+        return tuple(int(v) for v in self.link_cols[pos])
+
+    # ------------------------------------------------------------------
+    # oracle priming
+
+    def prime_oracle(self, oracle, ips) -> int:
+        """Prefill an :class:`~repro.inference.borders.OriginOracle`'s
+        per-address caches for a whole hop corpus in one vectorized pass.
+
+        The values written are exactly what the oracle's trie walk would
+        have produced (IXP addresses -> None origin, sibling collapse via
+        the oracle's own ``canonical``), so priming is invisible in
+        results — it only converts thousands of scalar trie walks into
+        two ``searchsorted`` calls. Returns the number of addresses primed
+        (0 when the oracle's IXP screen differs from this world's, i.e.
+        the oracle was not built from the same Internet).
+        """
+        oracle_spans = sorted(
+            (p.base, p.base + (1 << (32 - p.length)))
+            for p in oracle._ixp_prefixes
+        )
+        world_spans = list(zip(self.ixp_starts.tolist(), self.ixp_ends.tolist()))
+        if oracle_spans != world_spans:
+            return 0
+        fresh = [ip for ip in ips if ip not in oracle._origin_cache]
+        if not fresh:
+            return 0
+        arr = np.asarray(fresh, dtype=np.int64)
+        origins = self.origin_batch(arr)
+        ixp = self.is_ixp_batch(arr)
+        canonical = oracle.canonical
+        canonical_memo: dict[int, int] = {}
+        origin_cache = oracle._origin_cache
+        ixp_cache = oracle._ixp_cache
+        for ip, raw, at_ixp in zip(fresh, origins.tolist(), ixp.tolist()):
+            ixp_cache[ip] = at_ixp
+            if at_ixp or raw == NO_ORIGIN:
+                origin_cache[ip] = None
+                continue
+            collapsed = canonical_memo.get(raw)
+            if collapsed is None:
+                collapsed = canonical(raw)
+                canonical_memo[raw] = collapsed
+            origin_cache[ip] = collapsed
+        return len(fresh)
+
+    # ------------------------------------------------------------------
+    # shared memory
+
+    _ARRAY_FIELDS: tuple[str, ...] = (
+        "lpm_starts", "lpm_ends", "lpm_origins",
+        "ixp_starts", "ixp_ends",
+        "adj_asns", "adj_indptr", "adj_neighbors", "adj_rel",
+        "iface_ips", "iface_router", "iface_owner_asn",
+        "router_ids", "router_indptr", "router_iface_ips",
+        "link_ids", "link_cols",
+    )
+
+    def export_shared(self) -> "SharedWorldExport":
+        """Copy every array into shared-memory blocks.
+
+        Returns a :class:`SharedWorldExport` whose picklable ``handle``
+        travels to spawn-started workers; the exporting process must keep
+        the export object alive for the pool's lifetime and call
+        ``close(unlink=True)`` afterwards.
+        """
+        from multiprocessing import shared_memory
+
+        _SHM_EXPORTS.inc()
+        blocks: list = []
+        specs: list[tuple[str, str, str, tuple[int, ...]]] = []
+        for name in self._ARRAY_FIELDS:
+            array: np.ndarray = getattr(self, name)
+            nbytes = max(1, array.nbytes)  # zero-length arrays still need a block
+            block = shared_memory.SharedMemory(create=True, size=nbytes)
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+            view[...] = array
+            blocks.append(block)
+            specs.append((name, block.name, array.dtype.str, array.shape))
+        handle = SharedWorldHandle(digest=self.digest, seed=self.seed, specs=tuple(specs))
+        return SharedWorldExport(handle=handle, blocks=blocks)
+
+
+@dataclass(frozen=True)
+class SharedWorldHandle:
+    """Picklable descriptor of an exported snapshot (shm names + dtypes)."""
+
+    digest: str
+    seed: int
+    specs: tuple[tuple[str, str, str, tuple[int, ...]], ...]
+
+
+@dataclass
+class SharedWorldExport:
+    """Parent-side ownership of the exported blocks."""
+
+    handle: SharedWorldHandle
+    blocks: list
+
+    def close(self, unlink: bool = True) -> None:
+        for block in self.blocks:
+            block.close()
+            if unlink:
+                try:
+                    block.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+        self.blocks = []
+
+
+def attach_shared(handle: SharedWorldHandle) -> CompiledWorld:
+    """Attach a :class:`CompiledWorld` to another process's shared arrays.
+
+    The attached world is registered in the per-process compile cache
+    under its digest, so a later :func:`compile_world` for the same world
+    reuses the shared pages instead of recompiling. The shared-memory
+    blocks are kept referenced by the arrays themselves (numpy holds the
+    buffer) plus a module-level registry so they outlive the call.
+    """
+    from multiprocessing import shared_memory
+
+    _SHM_ATTACHES.inc()
+    arrays: dict[str, np.ndarray] = {}
+    blocks = []
+    for name, shm_name, dtype_str, shape in handle.specs:
+        block = shared_memory.SharedMemory(name=shm_name)
+        blocks.append(block)
+        arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=block.buf)
+    world = CompiledWorld(digest=handle.digest, seed=handle.seed, **arrays)
+    _ATTACHED_BLOCKS.setdefault(handle.digest, []).extend(blocks)
+    _COMPILE_CACHE[handle.digest] = world
+    return world
+
+
+#: digest -> CompiledWorld, one per process.
+_COMPILE_CACHE: dict[str, CompiledWorld] = {}
+#: digest -> attached SharedMemory blocks (kept alive for the process).
+_ATTACHED_BLOCKS: dict[str, list] = {}
+
+
+def world_digest(internet: Internet) -> str:
+    """Stable identity of a generated world for compile caching.
+
+    Seed plus headline sizes: two worlds from the same generator config
+    share all of them; any change to the generator's output changes at
+    least one.
+    """
+    summary = internet.summary()
+    parts = [str(internet.seed)] + [f"{k}={summary[k]}" for k in sorted(summary)]
+    return "|".join(parts)
+
+
+def compile_world(internet: Internet) -> CompiledWorld:
+    """Compile (or fetch the memoized) snapshot for one world."""
+    digest = world_digest(internet)
+    cached = _COMPILE_CACHE.get(digest)
+    if cached is not None:
+        _CACHE_HITS.inc()
+        return cached
+    world = _compile(internet, digest)
+    _COMPILE_CACHE[digest] = world
+    return world
+
+
+def clear_compile_cache() -> None:
+    """Drop memoized snapshots (tests use this to control memory)."""
+    _COMPILE_CACHE.clear()
+    for blocks in _ATTACHED_BLOCKS.values():
+        for block in blocks:
+            block.close()
+    _ATTACHED_BLOCKS.clear()
+
+
+def _compile(internet: Internet, digest: str) -> CompiledWorld:
+    _BUILDS.inc()
+    fabric = internet.fabric
+    graph = internet.graph
+
+    lpm_starts, lpm_ends, lpm_origins = _flatten_prefixes(
+        internet.prefix_table.prefixes()
+    )
+    ixp_starts, ixp_ends, _ = _flatten_prefixes(internet.ixps.prefixes())
+
+    asns = graph.asns()
+    indptr = [0]
+    neighbor_list: list[int] = []
+    rel_list: list[int] = []
+    for asn in asns:
+        row = graph.neighbors(asn)
+        for neighbor in sorted(row):
+            neighbor_list.append(neighbor)
+            rel_list.append(_CODE_OF_REL[row[neighbor]])
+        indptr.append(len(neighbor_list))
+
+    interfaces = fabric.interfaces()  # already in address order
+    iface_ips = np.asarray([i.ip for i in interfaces], dtype=np.int64)
+    iface_router = np.asarray([i.router_id for i in interfaces], dtype=np.int64)
+    iface_owner = np.asarray(
+        [fabric.router(i.router_id).asn for i in interfaces], dtype=np.int64
+    )
+
+    # Routers with zero interfaces still get an (empty) CSR row so lookups
+    # distinguish "no interfaces" from "unknown router".
+    router_ids = sorted(
+        {router.router_id for asn in asns for router in fabric.routers_of_as(asn)}
+    )
+    router_indptr = [0]
+    router_iface_ips: list[int] = []
+    for router_id in router_ids:
+        router_iface_ips.extend(i.ip for i in fabric.interfaces_of(router_id))
+        router_indptr.append(len(router_iface_ips))
+
+    links = fabric.interconnects()  # sorted by link id
+    link_ids = np.asarray([l.link_id for l in links], dtype=np.int64)
+    link_cols = np.asarray(
+        [
+            (
+                l.a_asn, l.b_asn, l.a_router_id, l.b_router_id,
+                l.a_ip, l.b_ip, l.numbered_from_asn, l.group_id,
+            )
+            for l in links
+        ],
+        dtype=np.int64,
+    ).reshape(len(links), 8)
+
+    world = CompiledWorld(
+        digest=digest,
+        seed=internet.seed,
+        lpm_starts=lpm_starts,
+        lpm_ends=lpm_ends,
+        lpm_origins=lpm_origins,
+        ixp_starts=ixp_starts,
+        ixp_ends=ixp_ends,
+        adj_asns=np.asarray(asns, dtype=np.int64),
+        adj_indptr=np.asarray(indptr, dtype=np.int64),
+        adj_neighbors=np.asarray(neighbor_list, dtype=np.int64),
+        adj_rel=np.asarray(rel_list, dtype=np.int8),
+        iface_ips=iface_ips,
+        iface_router=iface_router,
+        iface_owner_asn=iface_owner,
+        router_ids=np.asarray(router_ids, dtype=np.int64),
+        router_indptr=np.asarray(router_indptr, dtype=np.int64),
+        router_iface_ips=np.asarray(router_iface_ips, dtype=np.int64),
+        link_ids=link_ids,
+        link_cols=link_cols,
+    )
+    _log.info(
+        "compiled world %s: %d LPM intervals, %d AS rows, %d interfaces, %d links",
+        digest.split("|", 1)[0], len(lpm_starts), len(asns), len(iface_ips), len(links),
+    )
+    return world

@@ -54,6 +54,25 @@ _default_jobs = 1
 #: spawning pools-of-pools.
 _in_worker = False
 
+#: The fan-out context of the current worker (or of the serial loop while
+#: it runs): whatever picklable value the caller handed parallel_map as
+#: ``context``. Units read it back with :func:`worker_context`, which is
+#: what lets them ship only per-unit parameters instead of re-pickling
+#: the shared configuration into every task.
+_worker_context: object = None
+
+#: Named worker-side stats providers (e.g. the study cache), registered by
+#: the owning module at import time. Each provider returns a flat
+#: name→count dict; parallel_map folds the per-process totals back into
+#: pool_stats()["worker_stats"].
+_WORKER_STATS_PROVIDERS: dict[str, Callable[[], dict[str, int]]] = {}
+
+#: Provider totals sampled at worker init, before any setup or unit ran.
+#: Stats shipped back to the parent are deltas against this base, so a
+#: fork-inherited count (e.g. the study the parent built before the pool
+#: started) is not misattributed to the worker.
+_worker_stats_base: dict[str, dict[str, int]] = {}
+
 _UNITS = obs_metrics.counter("parallel.units_dispatched")
 _POOLS = obs_metrics.counter("parallel.pools_started")
 _SERIAL = obs_metrics.counter("parallel.serial_fallbacks")
@@ -70,7 +89,43 @@ _last_stats: dict[str, object] = {
     "chunk_skew": None,
     "requested_jobs": 0,
     "cpu_clamped": False,
+    "start_method": None,
+    "worker_stats": {},
 }
+
+
+def worker_context() -> object:
+    """The ``context`` value of the enclosing parallel_map call (or None)."""
+    return _worker_context
+
+
+def register_worker_stats(name: str, provider: Callable[[], dict[str, int]]) -> None:
+    """Register a per-process stats provider surfaced via pool_stats()."""
+    _WORKER_STATS_PROVIDERS[name] = provider
+
+
+def _providers_raw() -> dict[str, dict[str, int]]:
+    return {name: dict(provider()) for name, provider in _WORKER_STATS_PROVIDERS.items()}
+
+
+def _provider_totals() -> dict[str, dict[str, int]]:
+    """Per-provider counts attributable to this process's fan-out work."""
+    totals: dict[str, dict[str, int]] = {}
+    for name, stats in _providers_raw().items():
+        base = _worker_stats_base.get(name, {})
+        totals[name] = {key: value - base.get(key, 0) for key, value in stats.items()}
+    return totals
+
+
+def _fold_worker_stats(per_pid: dict[int, dict[str, dict[str, int]]]) -> dict[str, dict[str, int]]:
+    """Sum each provider's per-process totals across worker pids."""
+    folded: dict[str, dict[str, int]] = {}
+    for totals in per_pid.values():
+        for name, stats in totals.items():
+            bucket = folded.setdefault(name, {})
+            for key, value in stats.items():
+                bucket[key] = bucket.get(key, 0) + value
+    return folded
 
 
 def set_default_jobs(jobs: int) -> None:
@@ -110,9 +165,16 @@ def pool_stats() -> dict[str, object]:
     return dict(_last_stats)
 
 
-def _worker_init(trace_enabled: bool = False, metrics_enabled: bool | None = None) -> None:
-    global _in_worker
+def _worker_init(
+    trace_enabled: bool = False,
+    metrics_enabled: bool | None = None,
+    context: object = None,
+    setup: Callable[[object], None] | None = None,
+) -> None:
+    global _in_worker, _worker_context, _worker_stats_base
     _in_worker = True
+    _worker_context = context
+    _worker_stats_base = _providers_raw()
     # Under spawn the worker never saw the parent's runtime toggles; under
     # fork it inherited them along with stale span/metric state. Both
     # start from a clean slate with the parent's enablement.
@@ -121,29 +183,57 @@ def _worker_init(trace_enabled: bool = False, metrics_enabled: bool | None = Non
     if metrics_enabled is not None:
         obs_metrics.set_enabled(metrics_enabled)
     obs_metrics.reset()
+    if setup is not None:
+        # Per-worker one-time setup (build/attach the study world) so the
+        # cost is paid once per process, not once per unit.
+        setup(context)
+
+
+def pool_start_method() -> str:
+    """The multiprocessing start method fan-outs will use.
+
+    Fork shares the parent's built topologies copy-on-write and is the
+    default wherever available; ``REPRO_POOL_START`` overrides it (e.g.
+    ``REPRO_POOL_START=spawn`` to exercise the shared-memory world path
+    on a fork platform).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    override = os.environ.get("REPRO_POOL_START", "").strip()
+    if override:
+        if override not in methods:
+            raise ValueError(
+                f"REPRO_POOL_START={override!r} is not available here "
+                f"(choose from {methods})"
+            )
+        return override
+    return "fork" if "fork" in methods else "spawn"
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
-    # Fork shares the parent's built topologies copy-on-write; fall back
-    # to spawn where fork is unavailable (non-POSIX).
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    return multiprocessing.get_context(pool_start_method())
 
 
-def _observed_unit(func: Callable[[T], R], item: T) -> tuple[R, dict, list, float]:
+def _observed_unit(
+    func: Callable[[T], R], observe: bool, item: T
+) -> tuple[R, dict | None, list | None, float, int, dict]:
     """Pool worker wrapper: run one unit, capture its obs by-products.
 
     The worker's registry and span forest are reset per unit, so the
     returned snapshot/subtree describe exactly this unit; the parent
     merges them in input order, which keeps the merged span tree's shape
-    independent of scheduling.
+    independent of scheduling. Worker-stats totals are cumulative per
+    process (keyed by pid on the way back), so the parent keeps the last
+    value per pid and sums across pids.
     """
-    obs_metrics.reset()
-    obs_trace.reset()
+    if observe:
+        obs_metrics.reset()
+        obs_trace.reset()
     start = time.perf_counter()
     result = func(item)
     wall = time.perf_counter() - start
-    return result, obs_metrics.snapshot(), obs_trace.tree(), wall
+    snapshot = obs_metrics.snapshot() if observe else None
+    subtree = obs_trace.tree() if observe else None
+    return result, snapshot, subtree, wall, os.getpid(), _provider_totals()
 
 
 def _cpu_limit() -> int | None:
@@ -171,8 +261,38 @@ def _record_serial(
             "chunk_skew": None,
             "requested_jobs": requested,
             "cpu_clamped": clamped,
+            "start_method": None,
+            "worker_stats": {},
         }
     )
+
+
+def _run_serial(
+    func: Callable[[T], R],
+    work: list[T],
+    context: object,
+    setup: Callable[[object], None] | None,
+) -> list[R]:
+    """The serial-fallback loop, with the same context/setup contract as
+    a pool worker: ``worker_context()`` reads ``context`` while units run,
+    ``setup`` fires once up front, and provider deltas land in
+    ``pool_stats()["worker_stats"]``."""
+    global _worker_context, _worker_stats_base
+    prev_context = _worker_context
+    prev_base = _worker_stats_base
+    _worker_context = context
+    _worker_stats_base = _providers_raw()
+    try:
+        if setup is not None:
+            setup(context)
+        results = [func(item) for item in work]
+        _last_stats["worker_stats"] = _fold_worker_stats(
+            {os.getpid(): _provider_totals()}
+        )
+        return results
+    finally:
+        _worker_context = prev_context
+        _worker_stats_base = prev_base
 
 
 def parallel_map(
@@ -180,6 +300,8 @@ def parallel_map(
     items: Iterable[T],
     jobs: int | None = None,
     chunksize: int = 1,
+    context: object = None,
+    setup: Callable[[object], None] | None = None,
 ) -> list[R]:
     """``[func(item) for item in items]`` across a process pool.
 
@@ -188,6 +310,13 @@ def parallel_map(
     every item picklable. With ``jobs<=1``, a single item, or when called
     from inside a pool worker, this degrades to a plain serial loop —
     same results, no pool.
+
+    ``context`` is a picklable value shipped to every worker exactly once
+    (via the pool initializer) and readable from units through
+    :func:`worker_context`; ``setup(context)`` runs once per worker
+    process before its first unit. Together they let callers send shared
+    configuration per *worker* instead of per *task* — the serial path
+    honors the same contract, so results never depend on which path ran.
     """
     work = list(items)
     requested = resolve_jobs(jobs)
@@ -209,7 +338,7 @@ def parallel_map(
                 len(work),
             )
         _record_serial(len(work), "nested-in-worker", requested, clamped)
-        return [func(item) for item in work]
+        return _run_serial(func, work, context, setup)
     if jobs <= 1 or len(work) <= 1:
         if requested <= 1:
             reason = "jobs<=1"
@@ -218,7 +347,7 @@ def parallel_map(
         else:
             reason = "cpu-clamp"
         _record_serial(len(work), reason, requested, clamped)
-        return [func(item) for item in work]
+        return _run_serial(func, work, context, setup)
     max_workers = min(jobs, len(work))
     chunksize = max(1, chunksize)
     observe = obs_metrics.enabled() or obs_trace.enabled()
@@ -233,6 +362,8 @@ def parallel_map(
             "chunk_skew": None,
             "requested_jobs": requested,
             "cpu_clamped": clamped,
+            "start_method": pool_start_method(),
+            "worker_stats": {},
         }
     )
     _log.debug(
@@ -243,20 +374,24 @@ def parallel_map(
         max_workers=max_workers,
         mp_context=_pool_context(),
         initializer=_worker_init,
-        initargs=(obs_trace.enabled(), obs_metrics.enabled_override()),
+        initargs=(obs_trace.enabled(), obs_metrics.enabled_override(), context, setup),
     ) as pool:
-        if not observe:
-            return list(pool.map(func, work, chunksize=chunksize))
-        wrapped = functools.partial(_observed_unit, func)
+        wrapped = functools.partial(_observed_unit, func, observe)
         outs = list(pool.map(wrapped, work, chunksize=chunksize))
     results: list[R] = []
     unit_walls: list[float] = []
-    for result, snapshot, subtree, wall in outs:
+    # Provider totals are cumulative per worker process; keeping the last
+    # sample per pid and summing across pids gives pool-wide counts.
+    stats_by_pid: dict[int, dict[str, dict[str, int]]] = {}
+    for result, snapshot, subtree, wall, pid, totals in outs:
         results.append(result)
-        obs_metrics.merge_snapshot(snapshot)
-        obs_trace.attach_subtrees(subtree)
+        if observe:
+            obs_metrics.merge_snapshot(snapshot)
+            obs_trace.attach_subtrees(subtree)
+        stats_by_pid[pid] = totals
         unit_walls.append(wall)
         _UNIT_WALL.observe(wall)
+    _last_stats["worker_stats"] = _fold_worker_stats(stats_by_pid)
     # Chunk skew: with map()'s deterministic round-robin chunking, the
     # per-chunk wall totals show how unevenly the units were sized —
     # max/mean of 1.0 is perfectly balanced.

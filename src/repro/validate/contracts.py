@@ -18,6 +18,10 @@ The registered invariants:
 * ``topology.interconnect_fabric_agreement`` — interconnect ground truth
   (endpoint ASNs, routers, cities, interface addressing, parallel-link
   groups) agrees with the router fabric and the AS graph;
+* ``compiled.world_agreement`` — the structure-of-arrays snapshot
+  (:mod:`repro.net.compiled`) answers LPM origin, IXP screening,
+  AS-adjacency, router-fabric, and interconnect queries identically to
+  the object graph it was compiled from;
 * ``coverage.numerator_subset`` — §5 coverage reports keep every
   numerator inside its denominator's universe and every fraction in
   [0, 1];
@@ -219,6 +223,94 @@ def _interconnect_fabric(ctx: WorldContext) -> list[str]:
             violations.append(
                 f"{tag}: parallel group {link.group_id} spans distinct router pairs"
             )
+    return violations
+
+
+@contract("compiled.world_agreement")
+def _compiled_agreement(ctx: WorldContext) -> list[str]:
+    """Compiled snapshot answers every query like the object graph."""
+    from repro.net.compiled import NO_ORIGIN, compile_world
+
+    internet = ctx.internet
+    world = compile_world(internet)
+    rng = ctx.rng("compiled")
+    violations: list[str] = []
+
+    # --- LPM origins: prefix edges, interior points, and random space ---
+    table = internet.prefix_table
+    prefixes = table.prefixes()
+    sampled = prefixes if len(prefixes) <= 150 else rng.sample(prefixes, 150)
+    probe_ips: set[int] = set()
+    for prefix in sampled:
+        size = 1 << (32 - prefix.length)
+        probe_ips.update((prefix.base, prefix.base + size - 1,
+                          prefix.base + rng.randrange(size)))
+    probe_ips.update(rng.randrange(1 << 32) for _ in range(200))
+    for ip in sorted(probe_ips):
+        expected = table.origin_asn(ip)
+        got = world.origin(ip)
+        if got != expected:
+            violations.append(f"LPM origin({ip}) = {got}, trie says {expected}")
+    batch = world.origin_batch(sorted(probe_ips))
+    for ip, raw in zip(sorted(probe_ips), batch.tolist()):
+        scalar = world.origin(ip)
+        if (None if raw == NO_ORIGIN else raw) != scalar:
+            violations.append(f"origin_batch({ip}) = {raw} disagrees with scalar {scalar}")
+
+    # --- IXP screening ---
+    ixp_spans = [
+        (p.base, p.base + (1 << (32 - p.length))) for p in internet.ixps.prefixes()
+    ]
+    ixp_probes = {rng.randrange(1 << 32) for _ in range(100)}
+    for lo, hi in ixp_spans:
+        ixp_probes.update((lo, hi - 1, lo + rng.randrange(hi - lo)))
+    for ip in sorted(ixp_probes):
+        expected = any(lo <= ip < hi for lo, hi in ixp_spans)
+        if world.is_ixp(ip) != expected:
+            violations.append(f"is_ixp({ip}) = {world.is_ixp(ip)}, spans say {expected}")
+
+    # --- AS adjacency and relationships ---
+    graph = internet.graph
+    asns = graph.asns()
+    as_sample = asns if len(asns) <= 60 else rng.sample(asns, 60)
+    for asn in as_sample:
+        if world.neighbors_of(asn) != graph.neighbors(asn):
+            violations.append(f"neighbors_of(AS{asn}) disagrees with the AS graph")
+    for _ in range(120):
+        a = asns[rng.randrange(len(asns))]
+        b = asns[rng.randrange(len(asns))]
+        if world.relationship(a, b) != graph.relationship(a, b):
+            violations.append(
+                f"relationship(AS{a}, AS{b}) = {world.relationship(a, b)}, "
+                f"graph says {graph.relationship(a, b)}"
+            )
+
+    # --- router fabric ---
+    fabric = internet.fabric
+    interfaces = fabric.interfaces()
+    iface_sample = interfaces if len(interfaces) <= 150 else rng.sample(interfaces, 150)
+    for iface in iface_sample:
+        expected_owner = fabric.router(iface.router_id).asn
+        if world.owner_asn_of_ip(iface.ip) != expected_owner:
+            violations.append(f"owner_asn_of_ip({iface.ip}) != AS{expected_owner}")
+        expected_ips = tuple(i.ip for i in fabric.interfaces_of(iface.router_id))
+        if world.interface_ips_of(iface.router_id) != expected_ips:
+            violations.append(
+                f"interface_ips_of(r{iface.router_id}) lost fabric port order"
+            )
+    if world.owner_asn_of_ip(0) is not None:
+        violations.append("owner_asn_of_ip(0) invented an owner for a non-interface")
+
+    # --- interconnect rows ---
+    links = fabric.interconnects()
+    link_sample = links if len(links) <= 150 else rng.sample(links, 150)
+    for link in link_sample:
+        expected_row = (
+            link.a_asn, link.b_asn, link.a_router_id, link.b_router_id,
+            link.a_ip, link.b_ip, link.numbered_from_asn, link.group_id,
+        )
+        if world.link_row(link.link_id) != expected_row:
+            violations.append(f"link_row({link.link_id}) disagrees with fabric")
     return violations
 
 

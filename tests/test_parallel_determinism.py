@@ -30,7 +30,15 @@ from repro.topology.geo import (
 )
 from repro.obs import metrics, trace
 from repro.util import artifact_cache
-from repro.util.parallel import parallel_map, partition, resolve_jobs
+from repro.util.parallel import (
+    _WORKER_STATS_PROVIDERS,
+    parallel_map,
+    partition,
+    pool_stats,
+    register_worker_stats,
+    resolve_jobs,
+    worker_context,
+)
 
 DETERMINISM_CAMPAIGN = CampaignConfig(seed=11, days=3, total_tests=600)
 
@@ -227,6 +235,98 @@ class TestParallelMapPrimitive:
         assert len(parts) == 4
         assert [x for part in parts for x in part] == items
         assert max(len(p) for p in parts) - min(len(p) for p in parts) <= 1
+
+
+class TestSpawnParity:
+    """Workers started by spawn (no fork, no copy-on-write inheritance)
+    rebuild their world from the shipped config — and attach the parent's
+    shared-memory compiled snapshot — yet must return the exact records
+    the serial loop does."""
+
+    def test_spawn_pool_equals_serial(self, small_study, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_OVERSUBSCRIBE", "1")
+        kw = dict(alexa_count=40, max_prefixes=60)
+        serial = collect_coverage_reports(small_study, jobs=1, **kw)
+        monkeypatch.setenv("REPRO_POOL_START", "spawn")
+        spawned = collect_coverage_reports(small_study, jobs=2, **kw)
+        assert list(spawned) == list(serial)
+        for label, report in serial.items():
+            assert spawned[label] == report
+        stats = pool_stats()
+        assert stats["start_method"] == "spawn"
+        # Spawn workers cannot inherit the parent's memo: each rebuilds
+        # its study once, then every unit hits.
+        assert stats["worker_stats"]["study_cache"]["rebuilds"] >= 1
+
+    def test_fork_workers_inherit_study(self, small_study, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_OVERSUBSCRIBE", "1")
+        monkeypatch.delenv("REPRO_POOL_START", raising=False)
+        collect_coverage_reports(small_study, jobs=2, alexa_count=40, max_prefixes=60)
+        stats = pool_stats()
+        assert stats["start_method"] == "fork"
+        worker = stats["worker_stats"]["study_cache"]
+        assert worker["rebuilds"] == 0
+        assert worker["hits"] >= 1
+
+
+class TestWorkerContextAndSetup:
+    def test_context_and_setup_serial(self):
+        out = parallel_map(
+            _ctx_unit, [1, 2], jobs=1, context="shared-cfg", setup=_ctx_setup
+        )
+        assert out == [(1, "shared-cfg", True), (2, "shared-cfg", True)]
+        assert worker_context() is None  # restored after the call
+
+    def test_context_and_setup_in_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_OVERSUBSCRIBE", "1")
+        out = parallel_map(
+            _ctx_unit, list(range(6)), jobs=2, context={"k": 1}, setup=_ctx_setup
+        )
+        assert out == [(x, {"k": 1}, True) for x in range(6)]
+
+    def test_worker_stats_fold_excludes_prefork_counts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_OVERSUBSCRIBE", "1")
+        register_worker_stats("test_probe", _probe_stats)
+        try:
+            _PROBE_CALLS["count"] = 7  # pre-existing parent count
+            parallel_map(_probe_unit, list(range(6)), jobs=2)
+            folded = pool_stats()["worker_stats"]["test_probe"]
+            # Only work done inside the pool is attributed to it — the
+            # parent's 7 fork-inherited calls are subtracted out.
+            assert folded["calls"] == 6
+            parallel_map(_probe_unit, list(range(3)), jobs=1)
+            assert pool_stats()["worker_stats"]["test_probe"]["calls"] == 3
+        finally:
+            _WORKER_STATS_PROVIDERS.pop("test_probe", None)
+
+    def test_start_method_override_rejects_garbage(self, monkeypatch):
+        from repro.util.parallel import pool_start_method
+
+        monkeypatch.setenv("REPRO_POOL_START", "hyperthread")
+        with pytest.raises(ValueError):
+            pool_start_method()
+
+
+_SETUP_RAN = False
+_PROBE_CALLS = {"count": 0}
+
+
+def _ctx_setup(context) -> None:
+    global _SETUP_RAN
+    _SETUP_RAN = True
+
+
+def _ctx_unit(x):
+    return (x, worker_context(), _SETUP_RAN)
+
+
+def _probe_stats() -> dict:
+    return {"calls": _PROBE_CALLS["count"]}
+
+
+def _probe_unit(x):
+    _PROBE_CALLS["count"] += 1
+    return x
 
 
 def _square(x: int) -> int:

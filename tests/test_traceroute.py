@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.measurement.traceroute import TracerouteConfig, TracerouteEngine
+from repro.measurement.traceroute import (
+    _SILENCE_CACHE_WORLDS,
+    TracerouteConfig,
+    TracerouteEngine,
+)
 from repro.routing.bgp import BGPRouting
 from repro.routing.forwarding import Forwarder
 
@@ -111,6 +115,60 @@ class TestArtifacts:
             iface = net.fabric.interface(hop.ip)
             assert iface is not None
             assert iface.router_id == true_hop.router_id
+
+    def test_silence_cache_bounded_across_worlds(self, engine_setup):
+        """Regression: the class-level silent-router verdict cache must
+        not grow one whole-world dict per seed forever (multi-seed
+        fuzzing and benches construct hundreds of engine configs)."""
+        net, fwd, _engine = engine_setup
+        saved = dict(TracerouteEngine._silence_verdicts)
+        try:
+            TracerouteEngine._silence_verdicts.clear()
+            for seed in range(_SILENCE_CACHE_WORLDS * 3):
+                TracerouteEngine(net, fwd, TracerouteConfig(seed=seed))
+            assert len(TracerouteEngine._silence_verdicts) == _SILENCE_CACHE_WORLDS
+        finally:
+            TracerouteEngine._silence_verdicts.clear()
+            TracerouteEngine._silence_verdicts.update(saved)
+
+    def test_silence_cache_evicts_least_recently_used(self, engine_setup):
+        net, fwd, _engine = engine_setup
+        saved = dict(TracerouteEngine._silence_verdicts)
+        try:
+            TracerouteEngine._silence_verdicts.clear()
+            for seed in range(_SILENCE_CACHE_WORLDS):
+                TracerouteEngine(net, fwd, TracerouteConfig(seed=seed))
+            # Touch world 0 (a hit moves it to MRU), then insert a new
+            # world: world 1 — now the oldest untouched — is the victim.
+            TracerouteEngine(net, fwd, TracerouteConfig(seed=0))
+            TracerouteEngine(net, fwd, TracerouteConfig(seed=900))
+            keys = {key[0] for key in TracerouteEngine._silence_verdicts}
+            assert 0 in keys and 900 in keys
+            assert 1 not in keys
+        finally:
+            TracerouteEngine._silence_verdicts.clear()
+            TracerouteEngine._silence_verdicts.update(saved)
+
+    def test_eviction_only_costs_rederivation(self, engine_setup):
+        """Verdicts are pure (seed, router) facts: an engine whose world
+        was evicted re-derives exactly the same answers."""
+        net, fwd, _engine = engine_setup
+        saved = dict(TracerouteEngine._silence_verdicts)
+        try:
+            TracerouteEngine._silence_verdicts.clear()
+            first = TracerouteEngine(net, fwd, TracerouteConfig(seed=3))
+            routers = sorted(
+                {iface.router_id for iface in net.fabric.interfaces()[:40]}
+            )
+            before = {r: first._router_is_silent(r) for r in routers}
+            for seed in range(100, 100 + _SILENCE_CACHE_WORLDS + 1):
+                TracerouteEngine(net, fwd, TracerouteConfig(seed=seed))
+            assert (3, 0.05) not in TracerouteEngine._silence_verdicts
+            rebuilt = TracerouteEngine(net, fwd, TracerouteConfig(seed=3))
+            assert {r: rebuilt._router_is_silent(r) for r in routers} == before
+        finally:
+            TracerouteEngine._silence_verdicts.clear()
+            TracerouteEngine._silence_verdicts.update(saved)
 
     def test_unroutable_returns_none(self, engine_setup):
         net, _fwd, engine = engine_setup
