@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # Coverage floor for `make coverage` (core + validate packages).
 COV_FLOOR ?= 75
 
-.PHONY: test test-slow validate validate-smoke fuzz coverage bench bench-scaling experiments trace-smoke clean-cache
+.PHONY: test test-slow validate validate-smoke fuzz coverage bench bench-scaling bench-worldgen experiments trace-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -60,6 +60,14 @@ bench:
 # gates recorded but not enforced.
 bench-scaling:
 	$(PYTHON) benchmarks/run_bench.py --pr5-only $(if $(SMOKE),--smoke)
+
+# Table-first worldgen suite: object-graph-first vs snapshot-hit cold
+# starts at scale=1.0, the fresh-interpreter cold-load budget, and the
+# serial-coverage regression check. Writes BENCH_PR6.json and fails on
+# the gates. SMOKE=1 trims repeats and skips the PR5-relative
+# regression gate (calibrated on a specific box).
+bench-worldgen:
+	$(PYTHON) benchmarks/run_bench.py --pr6-only $(if $(SMOKE),--smoke)
 
 experiments:
 	$(PYTHON) -m repro.experiments all

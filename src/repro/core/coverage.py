@@ -223,22 +223,35 @@ def vp_coverage_report(
     return report
 
 
-def _coverage_unit(args: tuple) -> CoverageReport:
-    """Pool worker: one VP sweep against the worker's memoized study.
+#: VP blocks dispatched per effective worker. >1 lets map()'s ordered
+#: round-robin smooth over uneven VPs without shrinking blocks so far
+#: that per-task dispatch overhead returns.
+_VP_BLOCKS_PER_WORKER = 2
+
+
+def _coverage_block_unit(args: tuple) -> list[CoverageReport]:
+    """Pool worker: one contiguous VP block against the memoized study.
 
     The study config travels once per worker in the pool *context* (see
     :func:`repro.core.pipeline.pool_world_setup`), so each task ships
-    only ``(vp_index, alexa_count, max_prefixes)`` and the study lookup
-    here is a memo hit, not a rebuild.
+    only ``(vp_indices, alexa_count, max_prefixes)`` and the study
+    lookup here is a memo hit against the attached snapshot, not a
+    rebuild. Each VP still runs on its own derived stream, so the block
+    partitioning is invisible in the reports.
     """
     from repro.core.pipeline import build_study
     from repro.util.parallel import worker_context
 
-    vp_index, alexa_count, max_prefixes = args
+    vp_indices, alexa_count, max_prefixes = args
     study_config, _shared_handle = worker_context()
     study = build_study(study_config)
-    vp = study.ark_vps()[vp_index]
-    return vp_coverage_report(study, vp, alexa_count=alexa_count, max_prefixes=max_prefixes)
+    vps = study.ark_vps()
+    return [
+        vp_coverage_report(
+            study, vps[index], alexa_count=alexa_count, max_prefixes=max_prefixes
+        )
+        for index in vp_indices
+    ]
 
 
 def collect_coverage_reports(
@@ -249,22 +262,33 @@ def collect_coverage_reports(
 ) -> dict[str, CoverageReport]:
     """Per-VP coverage reports for every Ark VP, optionally fanned out.
 
-    Results are keyed by VP label in Table 3 row order whatever ``jobs``
-    is; parallel and serial runs return equal reports record-for-record.
-    Workers fork-inherit (or, under spawn, attach the shared-memory
-    export of) the already-built world instead of rebuilding it per task.
+    The sweep is sharded by contiguous VP block: each worker attaches
+    the resident world snapshot once and runs a whole block of VPs
+    against it, so dispatch cost scales with the worker count rather
+    than the VP count. Results are keyed by VP label in Table 3 row
+    order whatever ``jobs`` is — blocks are contiguous slices and the
+    merge concatenates them in input order, so parallel, serial, and
+    any block size return equal reports record-for-record.
     """
     from repro.core.pipeline import pool_world_setup, shared_world_export
+    from repro.util.parallel import effective_jobs, partition
 
     vps = study.ark_vps()
-    units = [(index, alexa_count, max_prefixes) for index in range(len(vps))]
-    _log.info("collecting coverage reports for %d VPs", len(vps))
+    workers = effective_jobs(jobs)
+    block_count = min(len(vps), workers * _VP_BLOCKS_PER_WORKER) if workers > 1 else 1
+    blocks = partition(list(range(len(vps))), block_count)
+    units = [
+        (tuple(block), alexa_count, max_prefixes) for block in blocks if block
+    ]
+    _log.info(
+        "collecting coverage reports for %d VPs in %d blocks", len(vps), len(units)
+    )
     export = shared_world_export(study, jobs)
     try:
         context = (study.config, export.handle if export is not None else None)
-        with span("coverage_sweep", vps=len(vps)):
-            reports = parallel_map(
-                _coverage_unit,
+        with span("coverage_sweep", vps=len(vps), blocks=len(units)):
+            block_reports = parallel_map(
+                _coverage_block_unit,
                 units,
                 jobs=jobs,
                 context=context,
@@ -273,6 +297,7 @@ def collect_coverage_reports(
     finally:
         if export is not None:
             export.close(unlink=True)
+    reports = [report for block in block_reports for report in block]
     return {vp.label: report for vp, report in zip(vps, reports)}
 
 

@@ -24,6 +24,17 @@ Three invariants the rest of the PR leans on:
   :class:`SharedWorldHandle` lets spawn-started workers attach the same
   pages instead of unpickling a copy of the world.
 
+Since PR 6 worlds are *table-first*: the generator emits these arrays
+directly (:mod:`repro.topology.tables`), :func:`compile_world` merely
+wraps them, and the object-graph walk in
+:func:`compile_from_object_graph` survives as the escape hatch
+(``REPRO_TABLE_FIRST=0``) and as the cross-check the validate contract
+runs. Compiled worlds also persist as versioned memory-mapped ``.npz``
+snapshots in the artifact cache (:mod:`repro.net.snapshot`), keyed by
+world digest: a world builds once, cold-loads in milliseconds via
+``mmap``, and pool workers attach the same resident pages through a
+picklable :class:`SnapshotHandle` instead of rebuilding or copying.
+
 ``REPRO_COMPILED=0`` disables the compiled fast paths everywhere (the
 escape hatch for debugging); consumers fall back to the object graph and
 produce identical results, just slower.
@@ -33,86 +44,52 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from repro.net import snapshot
 from repro.obs import metrics
 from repro.obs.log import get_logger
 from repro.topology.asgraph import Relationship
 from repro.topology.internet import Internet
+from repro.topology.routers import Interconnect
+from repro.topology.tables import (
+    CITY_DTYPE,
+    CODE_OF_KIND,
+    CODE_OF_REL as _CODE_OF_REL,
+    KIND_CODES,
+    REL_CODES as _REL_CODES,
+    flatten_prefixes as _flatten_prefixes,
+    table_first_enabled,
+)
+from repro.util import artifact_cache
 
 _log = get_logger(__name__)
 
 _BUILDS = metrics.counter("compiled.builds")
 _CACHE_HITS = metrics.counter("compiled.cache_hits")
+_TABLE_WRAPS = metrics.counter("compiled.table_wraps")
+_SNAPSHOT_LOADS = metrics.counter("compiled.snapshot_loads")
+_SNAPSHOT_ATTACHES = metrics.counter("compiled.snapshot_attaches")
 _BATCH_LOOKUPS = metrics.counter("compiled.batch_lookups")
 _SHM_EXPORTS = metrics.counter("compiled.shm_exports")
 _SHM_ATTACHES = metrics.counter("compiled.shm_attaches")
 
-#: Relationship enum <-> int8 code (order is part of the snapshot format).
-_REL_CODES: tuple[Relationship, ...] = (
-    Relationship.CUSTOMER,
-    Relationship.PROVIDER,
-    Relationship.PEER,
-)
-_CODE_OF_REL = {rel: code for code, rel in enumerate(_REL_CODES)}
-
 #: Sentinel origin for "no announcement covers this address".
 NO_ORIGIN = -1
+
+#: Artifact-cache namespaces for persisted snapshots and the
+#: generator-config -> world-digest index that enables cold loads
+#: without generating.
+SNAPSHOT_KIND = "world-snapshot"
+DIGEST_INDEX_KIND = "world-digest"
 
 
 def compiled_enabled() -> bool:
     """Whether the compiled fast paths are active (``REPRO_COMPILED=0`` off)."""
     return os.environ.get("REPRO_COMPILED", "1").lower() not in (
         "0", "false", "no", "off",
-    )
-
-
-def _flatten_prefixes(
-    prefixes: list, # list[Prefix]
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Flatten a nested prefix family into disjoint LPM intervals.
-
-    Announced prefixes are power-of-two aligned blocks, so any two are
-    either disjoint or nested — a laminar family. A single sweep with a
-    stack of open (outer) prefixes emits, for every elementary interval,
-    the *innermost* covering prefix, which is precisely the trie's
-    longest-match winner. Returns (starts, ends, origins) sorted by
-    start; gaps between announcements are simply absent from the table.
-    """
-    spans = sorted(
-        ((p.base, p.base + (1 << (32 - p.length)), p.asn) for p in prefixes),
-        key=lambda s: (s[0], -(s[1] - s[0])),
-    )
-    starts: list[int] = []
-    ends: list[int] = []
-    origins: list[int] = []
-
-    def emit(lo: int, hi: int, asn: int) -> None:
-        if lo < hi:
-            starts.append(lo)
-            ends.append(hi)
-            origins.append(asn)
-
-    stack: list[tuple[int, int]] = []  # (end, asn) of open outer prefixes
-    pos = 0
-    for base, end, asn in spans:
-        while stack and stack[-1][0] <= base:
-            top_end, top_asn = stack.pop()
-            emit(pos, top_end, top_asn)
-            pos = max(pos, top_end)
-        if stack:
-            emit(pos, base, stack[-1][1])
-        pos = max(pos, base)
-        stack.append((end, asn))
-    while stack:
-        top_end, top_asn = stack.pop()
-        emit(pos, top_end, top_asn)
-        pos = max(pos, top_end)
-    return (
-        np.asarray(starts, dtype=np.int64),
-        np.asarray(ends, dtype=np.int64),
-        np.asarray(origins, dtype=np.int64),
     )
 
 
@@ -157,10 +134,17 @@ class CompiledWorld:
     link_ids: np.ndarray  # int64, sorted
     link_cols: np.ndarray  # int64, shape (n_links, 8): a_asn b_asn a_router
     #                        b_router a_ip b_ip numbered_from group_id
+    link_city: np.ndarray  # <U4 metro code per link
+    link_kind: np.ndarray  # int8 KIND_CODES code per link
 
     #: Lazy python-side index: ASN -> row in adj_asns (built on first use,
     #: never shipped across processes).
     _asn_row: dict[int, int] | None = field(default=None, repr=False, compare=False)
+    #: Lazy Interconnect views materialized from link rows on demand
+    #: (scalar consumers only; never shipped across processes).
+    _link_views: dict[int, Interconnect] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # LPM / IXP
@@ -248,10 +232,55 @@ class CompiledWorld:
     def link_row(self, link_id: int) -> tuple[int, ...] | None:
         """One interconnect as a flat tuple (a_asn, b_asn, a_router,
         b_router, a_ip, b_ip, numbered_from_asn, group_id)."""
+        pos = self._link_pos(link_id)
+        if pos is None:
+            return None
+        return tuple(int(v) for v in self.link_cols[pos])
+
+    def _link_pos(self, link_id: int) -> int | None:
         pos = int(np.searchsorted(self.link_ids, link_id))
         if pos >= len(self.link_ids) or int(self.link_ids[pos]) != link_id:
             return None
-        return tuple(int(v) for v in self.link_cols[pos])
+        return pos
+
+    def interconnect_view(self, link_id: int) -> Interconnect | None:
+        """Materialize one link row as an :class:`Interconnect` object.
+
+        This is the lazy object view of the table-first world: scalar
+        consumers that want the ergonomic dataclass get one constructed
+        on demand (and memoized), while the table stays the primary
+        representation. The view is indistinguishable from the fabric's
+        own object — same frozen dataclass, same field values.
+        """
+        views = self._link_views
+        if views is None:
+            views = {}
+            self._link_views = views
+        view = views.get(link_id)
+        if view is None:
+            pos = self._link_pos(link_id)
+            if pos is None:
+                return None
+            row = self.link_cols[pos]
+            view = Interconnect(
+                link_id=link_id,
+                a_asn=int(row[0]),
+                b_asn=int(row[1]),
+                a_router_id=int(row[2]),
+                b_router_id=int(row[3]),
+                a_ip=int(row[4]),
+                b_ip=int(row[5]),
+                city_code=str(self.link_city[pos]),
+                kind=KIND_CODES[int(self.link_kind[pos])],
+                numbered_from_asn=int(row[6]),
+                group_id=int(row[7]),
+            )
+            views[link_id] = view
+        return view
+
+    def interconnect_views(self) -> list[Interconnect]:
+        """Every interconnect as a lazy view, in link-id order."""
+        return [self.interconnect_view(int(i)) for i in self.link_ids]
 
     # ------------------------------------------------------------------
     # oracle priming
@@ -306,7 +335,7 @@ class CompiledWorld:
         "adj_asns", "adj_indptr", "adj_neighbors", "adj_rel",
         "iface_ips", "iface_router", "iface_owner_asn",
         "router_ids", "router_indptr", "router_iface_ips",
-        "link_ids", "link_cols",
+        "link_ids", "link_cols", "link_city", "link_kind",
     )
 
     def export_shared(self) -> "SharedWorldExport":
@@ -341,6 +370,73 @@ class SharedWorldHandle:
     digest: str
     seed: int
     specs: tuple[tuple[str, str, str, tuple[int, ...]], ...]
+
+
+@dataclass(frozen=True)
+class SnapshotHandle:
+    """Picklable pointer to a persisted snapshot file.
+
+    The zero-copy sibling of :class:`SharedWorldHandle` for worlds that
+    are already on disk: workers ``mmap`` the same file, so the kernel
+    page cache shares one resident copy across the whole pool and
+    nothing is copied or re-exported per worker.
+    """
+
+    digest: str
+    path: str
+
+
+def snapshot_handle(world: CompiledWorld) -> SnapshotHandle | None:
+    """Handle for shipping ``world`` to pool workers via its snapshot file.
+
+    Persists the snapshot if it isn't on disk yet; None when persistence
+    is unavailable (cache or table-first disabled, write failure).
+    """
+    path = persist_snapshot(world)
+    if path is None:
+        return None
+    return SnapshotHandle(digest=world.digest, path=str(path))
+
+
+def attach_snapshot(handle: SnapshotHandle) -> CompiledWorld | None:
+    """Worker-side: map the snapshot behind ``handle`` into this process.
+
+    Registers the world in the compile cache so the worker's
+    ``build_study`` reuses the mapped tables instead of recompiling.
+    Returns None (after a warning) when the file vanished or is stale —
+    the worker then just compiles from its own generated world, so an
+    eviction mid-run degrades to slower, never to wrong.
+    """
+    cached = _COMPILE_CACHE.get(handle.digest)
+    if cached is not None:
+        return cached
+    loaded = snapshot.load_arrays(Path(handle.path), expect_digest=handle.digest)
+    world = None
+    if loaded is not None:
+        world = _world_from_arrays(handle.digest, loaded["seed"], loaded["arrays"])
+    if world is None:
+        _log.warning(
+            "could not attach world snapshot %s; worker will rebuild", handle.path
+        )
+        return None
+    _SNAPSHOT_ATTACHES.inc()
+    _COMPILE_CACHE[handle.digest] = world
+    return world
+
+
+@dataclass
+class SnapshotExport:
+    """Parent-side counterpart of :class:`SnapshotHandle`.
+
+    Mirrors :class:`SharedWorldExport`'s tiny lifecycle API so pool code
+    treats both transports uniformly; ``close`` is a no-op because the
+    snapshot file is a durable cache entry, not a per-pool resource.
+    """
+
+    handle: SnapshotHandle
+
+    def close(self, unlink: bool = True) -> None:
+        pass
 
 
 @dataclass
@@ -403,15 +499,139 @@ def world_digest(internet: Internet) -> str:
     return "|".join(parts)
 
 
+def snapshot_path(digest: str) -> Path:
+    """Artifact-cache location of one world's persisted snapshot.
+
+    The key covers the world digest plus the cache's code salt; the
+    snapshot's own ``format_version`` is checked at load, so a stale file
+    degrades to a warning and a rebuild, never to wrong tables.
+    """
+    key = artifact_cache.artifact_key(SNAPSHOT_KIND, digest)
+    return artifact_cache.cache_dir() / f"{SNAPSHOT_KIND}-{key}.npz"
+
+
+def _world_from_arrays(
+    digest: str, seed: int, arrays: dict[str, np.ndarray]
+) -> CompiledWorld | None:
+    """Wrap an array dict as a world; None when the schema doesn't match."""
+    if set(arrays) < set(CompiledWorld._ARRAY_FIELDS):
+        return None
+    return CompiledWorld(
+        digest=digest,
+        seed=seed,
+        **{name: arrays[name] for name in CompiledWorld._ARRAY_FIELDS},
+    )
+
+
+def persist_snapshot(world: CompiledWorld) -> Path | None:
+    """Write ``world`` to its cache slot (no-op when already present).
+
+    Returns the snapshot path, or None when persistence is off
+    (``REPRO_CACHE=0`` / ``REPRO_TABLE_FIRST=0``) or the write failed.
+    """
+    if not (table_first_enabled() and artifact_cache.enabled()):
+        return None
+    path = snapshot_path(world.digest)
+    if path.exists():
+        return path
+    arrays = {
+        name: np.ascontiguousarray(getattr(world, name))
+        for name in CompiledWorld._ARRAY_FIELDS
+    }
+    try:
+        snapshot.save_arrays(path, arrays, digest=world.digest, seed=world.seed)
+    except OSError as error:  # read-only fs, disk full — cache is best-effort
+        _log.warning("could not persist world snapshot %s: %s", path, error)
+        return None
+    artifact_cache.evict_to_limit()
+    return path if path.exists() else None
+
+
+def load_snapshot_world(digest: str) -> CompiledWorld | None:
+    """Memory-map a persisted snapshot for ``digest``, or None on a miss."""
+    if not (table_first_enabled() and artifact_cache.enabled()):
+        return None
+    path = snapshot_path(digest)
+    loaded = snapshot.load_arrays(path, expect_digest=digest)
+    if loaded is None:
+        return None
+    world = _world_from_arrays(digest, loaded["seed"], loaded["arrays"])
+    if world is None:
+        _log.warning("world snapshot %s misses arrays; rebuilding", path)
+        return None
+    _SNAPSHOT_LOADS.inc()
+    artifact_cache.touch(path)
+    return world
+
+
 def compile_world(internet: Internet) -> CompiledWorld:
-    """Compile (or fetch the memoized) snapshot for one world."""
+    """Compile (or fetch the memoized) snapshot for one world.
+
+    Table-first resolution order: the arrays the generator's recorder
+    already emitted, else a persisted memory-mapped snapshot, else the
+    object-graph derivation (which is the *only* path when
+    ``REPRO_TABLE_FIRST=0``). Whichever path built it, the world is
+    persisted so the next cold process loads it in milliseconds.
+    """
     digest = world_digest(internet)
     cached = _COMPILE_CACHE.get(digest)
     if cached is not None:
         _CACHE_HITS.inc()
         return cached
-    world = _compile(internet, digest)
+    world: CompiledWorld | None = None
+    if table_first_enabled():
+        tables = getattr(internet, "tables", None)
+        if tables is not None:
+            world = _world_from_arrays(digest, internet.seed, tables)
+            if world is not None:
+                _TABLE_WRAPS.inc()
+        if world is None:
+            world = load_snapshot_world(digest)
+    if world is None:
+        world = _compile(internet, digest)
+    persist_snapshot(world)
     _COMPILE_CACHE[digest] = world
+    return world
+
+
+def compile_from_object_graph(internet: Internet) -> CompiledWorld:
+    """Derive the tables by walking the object graph (the PR-5 path).
+
+    Not memoized and never persisted: this is the reference
+    implementation the ``compiled.world_agreement`` contract and the
+    golden-digest tests compare the table-first builder against.
+    """
+    return _compile(internet, world_digest(internet))
+
+
+def compiled_world_for(config) -> CompiledWorld:
+    """Resolve a generator config straight to a compiled world.
+
+    The fast path never touches the generator: a tiny persisted index
+    maps the config to its world digest, and the digest's snapshot is
+    memory-mapped in milliseconds. Only on a miss (first run, evicted
+    snapshot, stale format) is the world generated — and then persisted
+    so the next cold process takes the fast path.
+    """
+    use_cache = table_first_enabled() and artifact_cache.enabled()
+    index_key = None
+    if use_cache:
+        index_key = artifact_cache.artifact_key(DIGEST_INDEX_KIND, config)
+        digest = artifact_cache.load(DIGEST_INDEX_KIND, index_key)
+        if isinstance(digest, str):
+            cached = _COMPILE_CACHE.get(digest)
+            if cached is not None:
+                _CACHE_HITS.inc()
+                return cached
+            world = load_snapshot_world(digest)
+            if world is not None:
+                _COMPILE_CACHE[digest] = world
+                return world
+    from repro.topology.generator import generate_internet
+
+    world = compile_world(generate_internet(config))
+    if use_cache and index_key is not None:
+        artifact_cache.store(DIGEST_INDEX_KIND, index_key, world.digest)
     return world
 
 
@@ -475,6 +695,8 @@ def _compile(internet: Internet, digest: str) -> CompiledWorld:
         ],
         dtype=np.int64,
     ).reshape(len(links), 8)
+    link_city = np.asarray([l.city_code for l in links], dtype=CITY_DTYPE)
+    link_kind = np.asarray([CODE_OF_KIND[l.kind] for l in links], dtype=np.int8)
 
     world = CompiledWorld(
         digest=digest,
@@ -496,6 +718,8 @@ def _compile(internet: Internet, digest: str) -> CompiledWorld:
         router_iface_ips=np.asarray(router_iface_ips, dtype=np.int64),
         link_ids=link_ids,
         link_cols=link_cols,
+        link_city=link_city,
+        link_kind=link_kind,
     )
     _log.info(
         "compiled world %s: %d LPM intervals, %d AS rows, %d interfaces, %d links",

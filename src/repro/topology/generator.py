@@ -40,6 +40,7 @@ from repro.topology.routers import (
     RouterFabric,
     RouterRole,
 )
+from repro.topology.tables import WorldTableRecorder, table_first_enabled
 from repro.util.ip import parse_ip
 from repro.util.rng import derive_random
 
@@ -248,9 +249,15 @@ class _Builder:
     def __init__(self, config: InternetConfig) -> None:
         self.config = config
         self.rng = derive_random(config.seed, "topology")
-        self.graph = ASGraph()
+        # Table-first worlds: the graph and fabric stream every accepted
+        # object into the recorder, and build() finalizes the compiled
+        # SoA tables alongside the object graph — no derivation pass.
+        # Recording never touches the RNG, so worlds are byte-identical
+        # with the recorder on or off (REPRO_TABLE_FIRST=0).
+        self.recorder = WorldTableRecorder() if table_first_enabled() else None
+        self.graph = ASGraph(recorder=self.recorder)
         self.orgs = OrgMap()
-        self.fabric = RouterFabric()
+        self.fabric = RouterFabric(recorder=self.recorder)
         self.ixps = IXPRegistry()
         self.rdns = ReverseDNS()
         self.prefix_table = PrefixTable()
@@ -280,6 +287,11 @@ class _Builder:
         self._make_stubs()
         if self.config.epoch == "2017":
             self._grow_for_2017()
+        tables = None
+        if self.recorder is not None:
+            tables = self.recorder.finalize(
+                self.prefix_table.prefixes(), self.ixps.prefixes()
+            )
         return Internet(
             seed=self.config.seed,
             graph=self.graph,
@@ -290,6 +302,7 @@ class _Builder:
             prefix_table=self.prefix_table,
             client_prefixes=self.client_prefixes,
             infra_prefixes=self.infra_prefixes,
+            tables=tables,
         )
 
     # ------------------------------------------------------------------

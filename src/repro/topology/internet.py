@@ -38,6 +38,11 @@ class Internet:
     client_prefixes: dict[int, list[Prefix]] = field(default_factory=dict)
     #: Prefixes used for router interfaces and border numbering.
     infra_prefixes: dict[int, list[Prefix]] = field(default_factory=dict)
+    #: Table-first compiled arrays emitted by the generator's recorder
+    #: (None when REPRO_TABLE_FIRST=0 disabled recording at generation
+    #: time). :func:`repro.net.compiled.compile_world` wraps these
+    #: directly instead of re-deriving them from the object graph.
+    tables: dict | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # convenience lookups

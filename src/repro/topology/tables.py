@@ -1,0 +1,238 @@
+"""Table-first world representation: SoA tables emitted by generation.
+
+Since PR 5 the hot §5 queries run against structure-of-arrays numpy
+tables (:mod:`repro.net.compiled`). Originally those tables were a cache
+*derived from* the python object graph — every cold process paid a full
+object walk on top of generation. This module flips the dependency: the
+generator's containers (:class:`~repro.topology.asgraph.ASGraph`,
+:class:`~repro.topology.routers.RouterFabric`) stream every construction
+event into a :class:`WorldTableRecorder`, and :meth:`finalize` assembles
+the exact arrays the object walk used to produce — so the tables are the
+*primary* representation, emitted in one pass with generation, and the
+object-graph derivation (``REPRO_TABLE_FIRST=0``) becomes the escape
+hatch / cross-check.
+
+The recorder's output is bit-for-bit identical to the derived tables:
+the ``compiled.world_agreement`` validate contract compares every array
+against a fresh object-graph derivation, and the golden-digest tests
+hash both paths.
+
+The recorder itself is deliberately dumb — integer appends into python
+lists, one numpy conversion at the end — so recording adds no measurable
+cost to generation, and no RNG draw is touched either way (table-first
+on/off worlds are byte-identical).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.topology.asgraph import Relationship
+from repro.topology.routers import Interconnect, InterconnectKind
+
+_OFF_VALUES = ("0", "false", "no", "off")
+
+#: Fixed-width dtype for metro codes in the link table ("nyc", "dfw", ...).
+CITY_DTYPE = "<U4"
+
+#: Relationship enum <-> int8 code. This order is part of the snapshot
+#: format; :mod:`repro.net.compiled` decodes with the same table.
+REL_CODES: tuple[Relationship, ...] = (
+    Relationship.CUSTOMER,
+    Relationship.PROVIDER,
+    Relationship.PEER,
+)
+CODE_OF_REL = {rel: code for code, rel in enumerate(REL_CODES)}
+
+#: InterconnectKind enum <-> int8 code (same snapshot-format caveat).
+KIND_CODES: tuple[InterconnectKind, ...] = (
+    InterconnectKind.PRIVATE,
+    InterconnectKind.IXP,
+)
+CODE_OF_KIND = {kind: code for code, kind in enumerate(KIND_CODES)}
+
+
+def table_first_enabled() -> bool:
+    """Whether worlds are table-first (``REPRO_TABLE_FIRST=0`` disables).
+
+    Also off when the compiled fast paths themselves are disabled
+    (``REPRO_COMPILED=0``): without a compiled-world consumer there is
+    nothing for the recorder to feed.
+    """
+    env = os.environ
+    return (
+        env.get("REPRO_TABLE_FIRST", "1").lower() not in _OFF_VALUES
+        and env.get("REPRO_COMPILED", "1").lower() not in _OFF_VALUES
+    )
+
+
+def flatten_prefixes(prefixes: list) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten a nested prefix family into disjoint LPM intervals.
+
+    Announced prefixes are power-of-two aligned blocks, so any two are
+    either disjoint or nested — a laminar family. A single sweep with a
+    stack of open (outer) prefixes emits, for every elementary interval,
+    the *innermost* covering prefix, which is precisely the trie's
+    longest-match winner. Returns (starts, ends, origins) sorted by
+    start; gaps between announcements are simply absent from the table.
+    """
+    spans = sorted(
+        ((p.base, p.base + (1 << (32 - p.length)), p.asn) for p in prefixes),
+        key=lambda s: (s[0], -(s[1] - s[0])),
+    )
+    starts: list[int] = []
+    ends: list[int] = []
+    origins: list[int] = []
+
+    def emit(lo: int, hi: int, asn: int) -> None:
+        if lo < hi:
+            starts.append(lo)
+            ends.append(hi)
+            origins.append(asn)
+
+    stack: list[tuple[int, int]] = []  # (end, asn) of open outer prefixes
+    pos = 0
+    for base, end, asn in spans:
+        while stack and stack[-1][0] <= base:
+            top_end, top_asn = stack.pop()
+            emit(pos, top_end, top_asn)
+            pos = max(pos, top_end)
+        if stack:
+            emit(pos, base, stack[-1][1])
+        pos = max(pos, base)
+        stack.append((end, asn))
+    while stack:
+        top_end, top_asn = stack.pop()
+        emit(pos, top_end, top_asn)
+        pos = max(pos, top_end)
+    return (
+        np.asarray(starts, dtype=np.int64),
+        np.asarray(ends, dtype=np.int64),
+        np.asarray(origins, dtype=np.int64),
+    )
+
+
+class WorldTableRecorder:
+    """Accumulates world tables from generation events.
+
+    One instance lives for one :class:`_Builder` run. The AS graph and
+    router fabric call the ``record_*`` hooks as they accept objects;
+    :meth:`finalize` sorts and packs everything into the array dict that
+    :class:`repro.net.compiled.CompiledWorld` is built from.
+    """
+
+    def __init__(self) -> None:
+        self._asns: list[int] = []
+        #: (a, b, rel code from a's view), both directions per AS edge.
+        self._edges: list[tuple[int, int, int]] = []
+        #: (ip, router id, owning-router ASN) per addressed interface.
+        self._interfaces: list[tuple[int, int, int]] = []
+        self._router_asn: dict[int, int] = {}
+        #: router id -> interface ips in fabric (port) order.
+        self._router_ifaces: dict[int, list[int]] = {}
+        #: interconnect rows in link-id order.
+        self._links: list[tuple[int, ...]] = []
+        self._link_cities: list[str] = []
+        self._link_kinds: list[int] = []
+
+    # -- hooks driven by ASGraph / RouterFabric -------------------------
+
+    def record_as(self, asn: int) -> None:
+        self._asns.append(asn)
+
+    def record_edge(self, a: int, b: int, rel_of_a: Relationship) -> None:
+        """One AS adjacency; ``rel_of_a`` is ``b`` from ``a``'s view."""
+        self._edges.append((a, b, CODE_OF_REL[rel_of_a]))
+        self._edges.append((b, a, CODE_OF_REL[rel_of_a.inverse()]))
+
+    def record_router(self, router_id: int, asn: int) -> None:
+        self._router_asn[router_id] = asn
+        self._router_ifaces[router_id] = []
+
+    def record_interface(self, ip: int, router_id: int) -> None:
+        self._interfaces.append((ip, router_id, self._router_asn[router_id]))
+        self._router_ifaces[router_id].append(ip)
+
+    def record_link(self, link: Interconnect) -> None:
+        self._links.append(
+            (link.a_asn, link.b_asn, link.a_router_id, link.b_router_id,
+             link.a_ip, link.b_ip, link.numbered_from_asn, link.group_id)
+        )
+        self._link_cities.append(link.city_code)
+        self._link_kinds.append(CODE_OF_KIND[link.kind])
+        # Link ids are assigned sequentially from 1, so the row index is
+        # the id minus one — finalize() relies on this.
+        assert link.link_id == len(self._links), "interconnect recorded out of order"
+
+    # -- assembly --------------------------------------------------------
+
+    def finalize(self, prefixes: list, ixp_prefixes: list) -> dict[str, np.ndarray]:
+        """Pack the recorded events into the compiled-world array dict.
+
+        Every array matches the object-graph derivation in
+        :func:`repro.net.compiled.compile_from_object_graph` bit for bit:
+        same sort orders, same dtypes, same CSR layouts.
+        """
+        lpm_starts, lpm_ends, lpm_origins = flatten_prefixes(prefixes)
+        ixp_starts, ixp_ends, _ = flatten_prefixes(ixp_prefixes)
+
+        # CSR adjacency over sorted ASNs, neighbors sorted per row.
+        adj_asns = np.asarray(sorted(self._asns), dtype=np.int64)
+        if self._edges:
+            edge_arr = np.asarray(self._edges, dtype=np.int64)
+            order = np.lexsort((edge_arr[:, 1], edge_arr[:, 0]))
+            edge_arr = edge_arr[order]
+            adj_neighbors = edge_arr[:, 1].copy()
+            adj_rel = edge_arr[:, 2].astype(np.int8)
+            indptr = np.searchsorted(edge_arr[:, 0], adj_asns, side="left")
+            indptr = np.append(indptr, len(edge_arr)).astype(np.int64)
+        else:
+            adj_neighbors = np.asarray([], dtype=np.int64)
+            adj_rel = np.asarray([], dtype=np.int8)
+            indptr = np.zeros(len(adj_asns) + 1, dtype=np.int64)
+
+        # Interfaces sorted by address; owner is the owning router's AS.
+        if self._interfaces:
+            iface_arr = np.asarray(self._interfaces, dtype=np.int64)
+            order = np.argsort(iface_arr[:, 0], kind="stable")
+            iface_arr = iface_arr[order]
+            iface_ips = iface_arr[:, 0].copy()
+            iface_router = iface_arr[:, 1].copy()
+            iface_owner = iface_arr[:, 2].copy()
+        else:
+            iface_ips = iface_router = iface_owner = np.asarray([], dtype=np.int64)
+
+        # Router -> interface CSR over sorted router ids, port order kept.
+        router_ids = sorted(self._router_asn)
+        router_indptr = [0]
+        router_iface_ips: list[int] = []
+        for router_id in router_ids:
+            router_iface_ips.extend(self._router_ifaces[router_id])
+            router_indptr.append(len(router_iface_ips))
+
+        n_links = len(self._links)
+        link_cols = np.asarray(self._links, dtype=np.int64).reshape(n_links, 8)
+
+        return {
+            "lpm_starts": lpm_starts,
+            "lpm_ends": lpm_ends,
+            "lpm_origins": lpm_origins,
+            "ixp_starts": ixp_starts,
+            "ixp_ends": ixp_ends,
+            "adj_asns": adj_asns,
+            "adj_indptr": indptr,
+            "adj_neighbors": adj_neighbors,
+            "adj_rel": adj_rel,
+            "iface_ips": iface_ips,
+            "iface_router": iface_router,
+            "iface_owner_asn": iface_owner,
+            "router_ids": np.asarray(router_ids, dtype=np.int64),
+            "router_indptr": np.asarray(router_indptr, dtype=np.int64),
+            "router_iface_ips": np.asarray(router_iface_ips, dtype=np.int64),
+            "link_ids": np.arange(1, n_links + 1, dtype=np.int64),
+            "link_cols": link_cols,
+            "link_city": np.asarray(self._link_cities, dtype=CITY_DTYPE),
+            "link_kind": np.asarray(self._link_kinds, dtype=np.int8),
+        }

@@ -23,6 +23,12 @@ as misses and deleted.
 Set ``REPRO_CACHE=0`` (or call :func:`set_enabled` with ``False``) to
 bypass the cache entirely — the benchmark harness does this so timings
 measure computation, not disk reads.
+
+``REPRO_CACHE_MAX_MB`` bounds the cache's total size: after every write
+the least-recently-used entries (by mtime — reads :func:`touch` their
+entry) are evicted until the cache fits. Everything in the cache is a
+pure derivation, so eviction only ever costs a re-derive on the next
+miss; it can never change answers.
 """
 
 from __future__ import annotations
@@ -39,10 +45,17 @@ from repro.obs.log import get_logger
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_TOGGLE = "REPRO_CACHE"
+_ENV_MAX_MB = "REPRO_CACHE_MAX_MB"
+
+#: Every artifact family the cache owns: pickled products plus the
+#: memory-mapped world snapshots written by :mod:`repro.net.compiled`.
+_CACHE_PATTERNS = ("*.pkl", "*.npz")
 
 _log = get_logger(__name__)
 
 _HITS = metrics.counter("artifact_cache.hits")
+_EVICTIONS = metrics.counter("artifact_cache.evictions")
+_BYTES_EVICTED = metrics.counter("artifact_cache.bytes_evicted")
 _MISSES = metrics.counter("artifact_cache.misses")
 _CORRUPT = metrics.counter("artifact_cache.corrupt_drops")
 _BYTES_READ = metrics.counter("artifact_cache.bytes_read")
@@ -160,6 +173,7 @@ def load(kind: str, key: str) -> Any | None:
             _BYTES_READ.inc(path.stat().st_size)
         except OSError:
             pass
+    touch(path)
     return value
 
 
@@ -187,6 +201,7 @@ def store(kind: str, key: str, value: Any) -> None:
             except OSError:
                 pass
         _log.debug("stored %s artifact at %s", kind, path)
+        evict_to_limit()
     except OSError as error:
         # Read-only filesystem, disk full, ... — cache is best-effort.
         _log.warning("cache write failed for %s: %s", path, error)
@@ -208,15 +223,86 @@ def fetch(kind: str, parts: tuple, builder: Callable[[], Any]) -> Any:
     return value
 
 
+def touch(path: Path) -> None:
+    """Bump an entry's mtime so LRU eviction sees it as recently used."""
+    try:
+        os.utime(path, None)
+    except OSError:  # pragma: no cover - entry raced away or read-only fs
+        pass
+
+
+def max_bytes() -> int | None:
+    """Size bound from ``REPRO_CACHE_MAX_MB``; None means unbounded."""
+    raw = os.environ.get(_ENV_MAX_MB, "").strip()
+    if not raw:
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        _log.warning("ignoring unparsable %s=%r", _ENV_MAX_MB, raw)
+        return None
+    if megabytes <= 0:
+        return None
+    return int(megabytes * 1024 * 1024)
+
+
+def _entries() -> list[tuple[Path, float, int]]:
+    root = cache_dir()
+    entries: list[tuple[Path, float, int]] = []
+    if root.is_dir():
+        for pattern in _CACHE_PATTERNS:
+            for path in root.glob(pattern):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((path, stat.st_mtime, stat.st_size))
+    return entries
+
+
+def evict_to_limit(limit_bytes: int | None = None) -> int:
+    """Drop least-recently-used entries until the cache fits the bound.
+
+    Called after every write; a no-op unless ``REPRO_CACHE_MAX_MB`` (or
+    an explicit ``limit_bytes``) is set. Everything evicted is a pure
+    derivation, so the only cost is a rebuild on the next miss. Returns
+    the number of files removed.
+    """
+    limit = max_bytes() if limit_bytes is None else limit_bytes
+    if limit is None:
+        return 0
+    entries = _entries()
+    total = sum(size for _, _, size in entries)
+    if total <= limit:
+        return 0
+    removed = 0
+    # Oldest mtime first: reads touch() their entry, so mtime is recency.
+    for path, _, size in sorted(entries, key=lambda e: e[1]):
+        if total <= limit:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        removed += 1
+        _EVICTIONS.inc()
+        _BYTES_EVICTED.inc(size)
+        _log.info("evicted cache entry %s (%d bytes) to fit %d-byte bound",
+                  path.name, size, limit)
+    return removed
+
+
 def clear() -> int:
     """Delete every cached artifact; returns how many files were removed."""
     root = cache_dir()
     removed = 0
     if root.is_dir():
-        for path in root.glob("*.pkl"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in _CACHE_PATTERNS:
+            for path in root.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
     return removed

@@ -81,8 +81,15 @@ _UNIT_WALL = obs_metrics.histogram("parallel.unit_wall_s")
 _SKEW = obs_metrics.gauge("parallel.chunk_skew")
 
 #: What the most recent :func:`parallel_map` call did (see pool_stats()).
+#: ``requested_workers`` is the caller's ask (--jobs after None
+#: resolution); ``effective_workers`` is what actually ran after the
+#: cpu clamp and the unit count were applied — the two are reported
+#: distinctly so a clamped manifest entry reads unambiguously.
+#: ``workers`` is kept as a legacy alias of ``effective_workers``.
 _last_stats: dict[str, object] = {
     "workers": 0,
+    "requested_workers": 0,
+    "effective_workers": 0,
     "units": 0,
     "chunksize": 1,
     "fallback": None,
@@ -160,8 +167,29 @@ def validate_jobs(value: str | int) -> int:
     return jobs
 
 
+def effective_jobs(jobs: int | None = None) -> int:
+    """Worker count a fan-out would actually use, clamp included.
+
+    Mirrors :func:`parallel_map`'s own resolution — session default for
+    ``None``, cpu clamp unless ``REPRO_POOL_OVERSUBSCRIBE=1``, and serial
+    inside a pool worker — so callers sizing work blocks (e.g. the
+    coverage sweep's VP-block sharding) agree with the pool they feed.
+    """
+    if _in_worker:
+        return 1
+    requested = resolve_jobs(jobs)
+    limit = _cpu_limit()
+    return requested if limit is None else min(requested, limit)
+
+
 def pool_stats() -> dict[str, object]:
-    """Snapshot of the most recent fan-out (workers, units, fallback reason)."""
+    """Snapshot of the most recent fan-out (workers, units, fallback reason).
+
+    ``requested_workers`` vs ``effective_workers`` distinguishes what the
+    caller asked for from what ran (they differ when the cpu-count clamp
+    or the unit count bit); ``fallback`` carries the reason when the
+    fan-out degraded to serial.
+    """
     return dict(_last_stats)
 
 
@@ -255,6 +283,8 @@ def _record_serial(
     _last_stats.update(
         {
             "workers": 1,
+            "requested_workers": requested,
+            "effective_workers": 1,
             "units": units,
             "chunksize": 1,
             "fallback": reason,
@@ -356,6 +386,8 @@ def parallel_map(
     _last_stats.update(
         {
             "workers": max_workers,
+            "requested_workers": requested,
+            "effective_workers": max_workers,
             "units": len(work),
             "chunksize": chunksize,
             "fallback": None,

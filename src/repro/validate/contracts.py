@@ -21,7 +21,9 @@ The registered invariants:
 * ``compiled.world_agreement`` — the structure-of-arrays snapshot
   (:mod:`repro.net.compiled`) answers LPM origin, IXP screening,
   AS-adjacency, router-fabric, and interconnect queries identically to
-  the object graph it was compiled from;
+  the object graph, and the table-first builder's arrays (generator
+  recorder or persisted snapshot) are bit-identical to a fresh
+  object-graph derivation;
 * ``coverage.numerator_subset`` — §5 coverage reports keep every
   numerator inside its denominator's universe and every fraction in
   [0, 1];
@@ -301,7 +303,7 @@ def _compiled_agreement(ctx: WorldContext) -> list[str]:
     if world.owner_asn_of_ip(0) is not None:
         violations.append("owner_asn_of_ip(0) invented an owner for a non-interface")
 
-    # --- interconnect rows ---
+    # --- interconnect rows and lazy object views ---
     links = fabric.interconnects()
     link_sample = links if len(links) <= 150 else rng.sample(links, 150)
     for link in link_sample:
@@ -311,6 +313,32 @@ def _compiled_agreement(ctx: WorldContext) -> list[str]:
         )
         if world.link_row(link.link_id) != expected_row:
             violations.append(f"link_row({link.link_id}) disagrees with fabric")
+        if world.interconnect_view(link.link_id) != link:
+            violations.append(
+                f"interconnect_view({link.link_id}) disagrees with the fabric object"
+            )
+
+    # --- table-first builder vs object-graph derivation ---
+    # Whatever path built `world` (generator-emitted tables, a persisted
+    # snapshot, or the object walk itself), every array must be
+    # bit-identical to a fresh derivation from the object graph.
+    import numpy as np
+
+    from repro.net.compiled import compile_from_object_graph
+
+    reference = compile_from_object_graph(internet)
+    for name in type(world)._ARRAY_FIELDS:
+        ours = getattr(world, name)
+        theirs = getattr(reference, name)
+        if ours.dtype != theirs.dtype or ours.shape != theirs.shape:
+            violations.append(
+                f"table-first array {name!r}: dtype/shape "
+                f"{ours.dtype}{ours.shape} != derived {theirs.dtype}{theirs.shape}"
+            )
+        elif not np.array_equal(ours, theirs):
+            violations.append(
+                f"table-first array {name!r} differs from the object-graph derivation"
+            )
     return violations
 
 

@@ -34,6 +34,24 @@ try:
 except ModuleNotFoundError:  # pragma: no cover - hypothesis not installed
     pass
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the artifact cache at a per-session temp dir.
+
+    Table-first worlds persist snapshots on compile, so without this the
+    suite would write world files into the developer's real cache.
+    Tests that want a specific cache dir still override REPRO_CACHE_DIR
+    per-test with monkeypatch, which takes precedence.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("artifact-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
 TINY_CONFIG = InternetConfig(seed=7, n_stub=60, n_transit=6)
 
 SMALL_STUDY_CONFIG = StudyConfig(

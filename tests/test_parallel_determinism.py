@@ -229,6 +229,38 @@ class TestParallelMapPrimitive:
         assert resolve_jobs(-3) == 1
         assert resolve_jobs(5) == 5
 
+    def test_pool_stats_reports_requested_vs_effective_on_clamp(self, monkeypatch):
+        from repro.util import parallel
+
+        monkeypatch.setattr(parallel, "_cpu_limit", lambda: 1)
+        assert parallel_map(_square, list(range(8)), jobs=4) == [i * i for i in range(8)]
+        stats = pool_stats()
+        assert stats["requested_workers"] == 4
+        assert stats["effective_workers"] == 1
+        assert stats["cpu_clamped"] is True
+        assert stats["fallback"] == "cpu-clamp"
+
+    def test_pool_stats_requested_equals_effective_without_clamp(self, monkeypatch):
+        from repro.util import parallel
+
+        monkeypatch.setenv("REPRO_POOL_OVERSUBSCRIBE", "1")
+        assert parallel_map(_square, list(range(8)), jobs=2) == [i * i for i in range(8)]
+        stats = pool_stats()
+        assert stats["requested_workers"] == 2
+        assert stats["effective_workers"] == 2
+        assert stats["cpu_clamped"] is False
+        assert stats["fallback"] is None
+
+    def test_effective_jobs_mirrors_parallel_map_resolution(self, monkeypatch):
+        from repro.util import parallel
+        from repro.util.parallel import effective_jobs
+
+        monkeypatch.setattr(parallel, "_cpu_limit", lambda: 2)
+        assert effective_jobs(4) == 2
+        assert effective_jobs(1) == 1
+        monkeypatch.setattr(parallel, "_cpu_limit", lambda: None)
+        assert effective_jobs(4) == 4
+
     def test_partition_concatenates_to_input(self):
         items = list(range(11))
         parts = partition(items, 4)
