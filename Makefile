@@ -4,7 +4,7 @@ export PYTHONPATH := src
 # Coverage floor for `make coverage` (core + validate packages).
 COV_FLOOR ?= 75
 
-.PHONY: test test-slow validate validate-smoke fuzz coverage bench bench-scaling bench-worldgen experiments trace-smoke clean-cache
+.PHONY: test test-slow validate validate-smoke fuzz coverage bench bench-scaling bench-worldgen bench-telemetry bench-report experiments trace-smoke clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,8 +44,10 @@ trace-smoke:
 	rm -f run_manifest.json trace.json
 	$(PYTHON) -m repro.experiments fig1 --trace --jobs 2
 	$(PYTHON) -c "import json; m = json.load(open('run_manifest.json')); \
-	assert m['schema'] == 'repro.obs/run-manifest/v1', m['schema']; \
+	assert m['schema'] == 'repro.obs/run-manifest/v2', m['schema']; \
 	assert 'fig1' in m['experiments'], m['experiments']; \
+	assert m['resource']['peak_rss_bytes'], m['resource']; \
+	assert m['phases'], 'empty phases table'; \
 	t = json.load(open('trace.json')); \
 	assert t['schema'] == 'repro.obs/trace/v1', t['schema']; \
 	assert t['spans'], 'empty span tree'; \
@@ -68,6 +70,20 @@ bench-scaling:
 # regression gate (calibrated on a specific box).
 bench-worldgen:
 	$(PYTHON) benchmarks/run_bench.py --pr6-only $(if $(SMOKE),--smoke)
+
+# Full-telemetry overhead suite: campaign with metrics + sampler +
+# /metrics endpoint + sampling profiler on vs everything off, gated at
+# 5 % and on byte-identical output. Writes BENCH_PR7.json and
+# profile_folded.txt. SMOKE=1 trims repeats and marks the file so the
+# bench-trend gate ignores its timings.
+bench-telemetry:
+	$(PYTHON) benchmarks/run_bench.py --telemetry-only $(if $(SMOKE),--smoke)
+
+# Cross-PR benchmark trajectory over the committed BENCH_PR*.json files,
+# gated on the latest run vs the best prior medians. Writes
+# bench_trend.json for the CI artifact upload.
+bench-report:
+	$(PYTHON) -m repro.bench.trend --check --out bench_trend.json
 
 experiments:
 	$(PYTHON) -m repro.experiments all

@@ -48,6 +48,19 @@ object-graph path, subprocess cold load ≤100 ms, both builders
 byte-identical, coverage serial within 10 % of the PR5 median
 (regression gate skipped in ``--smoke``).
 
+The telemetry suite (``BENCH_PR7.json``) measures what the *full* live
+telemetry stack costs: the benchmark campaign replayed with everything
+on — metrics registry, cadence sampler, the ``/metrics`` HTTP endpoint,
+and the ~100 Hz sampling profiler — against the same campaign with
+metrics disabled and nothing else running, interleaved so machine drift
+cancels. Gates: overhead ≤5 %, every run's campaign output hashes
+identical (telemetry must never touch results), and the live
+``/metrics`` scrape mid-setup must be valid OpenMetrics carrying the
+``tcp_batch`` histogram quantiles and pool time-series. The profiler's
+collapsed stacks land in ``profile_folded.txt`` for the CI artifact
+upload, and a ``campaign_bench`` median is recorded so the bench-trend
+gate (``make bench-report``) has a cross-PR comparable.
+
 Run via ``make bench`` or::
 
     PYTHONPATH=src python benchmarks/run_bench.py
@@ -56,6 +69,7 @@ Run via ``make bench`` or::
     PYTHONPATH=src python benchmarks/run_bench.py --pr5-only   # just the scaling suite
     PYTHONPATH=src python benchmarks/run_bench.py --pr6-only   # just the worldgen suite
     PYTHONPATH=src python benchmarks/run_bench.py --pr6-only --smoke  # CI smoke shape
+    PYTHONPATH=src python benchmarks/run_bench.py --telemetry-only    # just the PR7 suite
 """
 
 from __future__ import annotations
@@ -178,6 +192,13 @@ PR6_GATES = {
 #: BENCH_PR5's coverage_bench_serial median on this machine, used when
 #: the file is absent (fresh clone).
 PR5_COVERAGE_SERIAL_MEDIAN_S = 0.848
+
+
+PR7_OUTPUT = REPO_ROOT / "BENCH_PR7.json"
+
+#: Hard ceiling on what the *entire* telemetry stack (metrics + cadence
+#: sampler + HTTP endpoint + sampling profiler) may cost the campaign.
+TELEMETRY_OVERHEAD_LIMIT = 0.05
 
 
 def _timed(func, repeats: int) -> list[float]:
@@ -918,6 +939,220 @@ def run_pr6_suite(smoke: bool = False) -> int:
     return 0
 
 
+def bench_telemetry_overhead(smoke: bool = False) -> dict[str, object]:
+    """Full telemetry stack on vs everything off, interleaved.
+
+    The "on" runs carry the whole PR-7 stack live: metrics collecting,
+    the cadence sampler ticking at 100 ms, the asyncio ``/metrics``
+    endpoint serving, and the sampling profiler polling the campaign
+    thread. The "off" runs disable metrics (``REPRO_METRICS=0``'s state)
+    and start nothing. Every run's campaign output is content-hashed —
+    a single distinct hash across all runs is the byte-identity gate —
+    and the last "on" run's live ``/metrics`` scrape is validated for
+    the quantile histogram and pool time-series families.
+
+    The gate is the *median of pairwise on/off process-CPU-time
+    ratios*, with wall clock recorded alongside. On shared/virtualized
+    runners (CI, steal-prone VMs) identical ~1 s runs drift ±20 %+ in
+    wall time — and host frequency scaling drifts CPU time by a
+    similar margin over minutes — which makes any cross-run 5 % gate
+    pure noise. Adjacent runs, though, see the same host weather, so
+    each pair's on/off ratio isolates the telemetry cost; alternating
+    which mode runs first inside the pair cancels within-pair ramp
+    bias, and the median across pairs suppresses the occasional pair
+    that straddles a drift step. CPU time (``time.process_time()``)
+    charges every telemetry thread's work — sampler, server, profiler
+    — to this process, so the ratio is the honest measure of what the
+    stack costs the measured code.
+    """
+    import urllib.request
+
+    from repro.obs import serve as obs_serve
+    from repro.obs import timeseries as obs_timeseries
+    from repro.obs.profiler import SamplingProfiler
+
+    repeats = 3 if smoke else 6
+    study = build_study(BENCH_STUDY_CONFIG)
+    study._run_campaign_uncached(BENCH_CAMPAIGN)  # warm code paths once
+
+    def run_once() -> tuple[float, float, str]:
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        result = study._run_campaign_uncached(BENCH_CAMPAIGN)
+        cpu = time.process_time() - cpu_start
+        wall = time.perf_counter() - wall_start
+        hasher = hashlib.sha256()
+        for record in result.ndt_records:
+            hasher.update(repr(record).encode())
+        for record in result.traceroute_records:
+            hasher.update(repr(record).encode())
+        return wall, cpu, hasher.hexdigest()
+
+    on_wall: list[float] = []
+    off_wall: list[float] = []
+    on_cpu: list[float] = []
+    off_cpu: list[float] = []
+    pair_ratios: list[float] = []
+    hashes: set[str] = set()
+    openmetrics: dict[str, object] = {}
+    profiler = None
+
+    def run_off() -> None:
+        metrics.set_enabled(False)
+        try:
+            wall, cpu, sha = run_once()
+        finally:
+            metrics.set_enabled(None)
+        off_wall.append(round(wall, 3))
+        off_cpu.append(cpu)
+        hashes.add(sha)
+
+    def run_on(scrape: bool) -> None:
+        nonlocal openmetrics, profiler
+        metrics.set_enabled(True)
+        metrics.reset()
+        sampler = obs_timeseries.default_sampler()
+        server = obs_serve.TelemetryServer(port=0, sampler=sampler).start()
+        profiler = SamplingProfiler().start()
+        try:
+            wall, cpu, sha = run_once()
+            if scrape:
+                with urllib.request.urlopen(
+                    f"{server.url}/metrics", timeout=5
+                ) as response:
+                    text = response.read().decode("utf-8")
+                openmetrics = {
+                    "bytes": len(text),
+                    "has_tcp_batch_quantiles": "tcp_batch_requests_quantiles" in text,
+                    "has_pool_timeseries": "ts_pool_" in text,
+                    "ends_with_eof": text.rstrip().endswith("# EOF"),
+                }
+        finally:
+            profiler.stop()
+            server.stop()
+            metrics.set_enabled(None)
+        on_wall.append(round(wall, 3))
+        on_cpu.append(cpu)
+        hashes.add(sha)
+
+    for index in range(repeats):
+        # Alternate which mode runs first so within-pair warm-up or
+        # host-frequency ramp cannot systematically favour one side.
+        if index % 2 == 0:
+            run_off()
+            run_on(scrape=index == repeats - 1)
+        else:
+            run_on(scrape=index == repeats - 1)
+            run_off()
+        pair_ratios.append(on_cpu[-1] / off_cpu[-1])
+
+    folded_path = profiler.write_folded(REPO_ROOT) if profiler else None
+    overhead = statistics.median(pair_ratios) - 1.0
+    return {
+        "telemetry_on_runs_s": on_wall,
+        "telemetry_off_runs_s": off_wall,
+        "telemetry_on_cpu_runs_s": [round(c, 3) for c in on_cpu],
+        "telemetry_off_cpu_runs_s": [round(c, 3) for c in off_cpu],
+        "telemetry_on_median_s": round(statistics.median(on_wall), 3),
+        "telemetry_off_median_s": round(statistics.median(off_wall), 3),
+        "telemetry_on_cpu_median_s": round(statistics.median(on_cpu), 3),
+        "telemetry_off_cpu_median_s": round(statistics.median(off_cpu), 3),
+        "pairwise_cpu_ratios": [round(r, 4) for r in pair_ratios],
+        "overhead_basis": "median_pairwise_process_cpu_ratio",
+        "overhead_fraction": round(overhead, 4),
+        "limit_fraction": TELEMETRY_OVERHEAD_LIMIT,
+        "within_limit": overhead <= TELEMETRY_OVERHEAD_LIMIT,
+        "distinct_output_hashes": len(hashes),
+        "byte_identical": len(hashes) == 1,
+        "openmetrics": openmetrics,
+        "profiler_samples": profiler.samples if profiler else 0,
+        "profile_folded": str(folded_path) if folded_path else None,
+    }
+
+
+def run_pr7_suite(smoke: bool = False) -> int:
+    """Telemetry benchmarks: write BENCH_PR7.json, gate overhead ≤5 %.
+
+    Also records a ``campaign_bench`` median so the cross-PR bench-trend
+    report has a metric this PR shares with its predecessors.
+    """
+    artifact_cache.set_enabled(False)
+    suite_start = time.perf_counter()
+    try:
+        telemetry = bench_telemetry_overhead(smoke=smoke)
+        campaign_runs = bench_campaign(repeats=2 if smoke else 3)
+    finally:
+        artifact_cache.set_enabled(None)
+    print(
+        f"telemetry overhead: {telemetry['overhead_fraction']:+.2%} "
+        f"(median pairwise cpu ratio {telemetry['pairwise_cpu_ratios']}, "
+        f"limit {TELEMETRY_OVERHEAD_LIMIT:.0%}; cpu medians on/off "
+        f"{telemetry['telemetry_on_cpu_median_s']}s/"
+        f"{telemetry['telemetry_off_cpu_median_s']}s, wall medians "
+        f"{telemetry['telemetry_on_median_s']}s/"
+        f"{telemetry['telemetry_off_median_s']}s); byte_identical="
+        f"{telemetry['byte_identical']}; openmetrics={telemetry['openmetrics']}"
+    )
+    campaign_median = round(statistics.median(campaign_runs), 3)
+    print(f"campaign_bench: median {campaign_median}s {campaign_runs}")
+
+    scrape = telemetry["openmetrics"]
+    gates = {
+        "telemetry_overhead": {
+            "required_max_fraction": TELEMETRY_OVERHEAD_LIMIT,
+            "measured_fraction": telemetry["overhead_fraction"],
+            "enforced": True,
+            "passed": bool(telemetry["within_limit"]),
+        },
+        "byte_identity": {
+            "required": "identical campaign output hash, telemetry on and off",
+            "distinct_hashes": telemetry["distinct_output_hashes"],
+            "enforced": True,
+            "passed": bool(telemetry["byte_identical"]),
+        },
+        "openmetrics_scrape": {
+            "required": "live /metrics carries tcp_batch quantiles, pool "
+                        "time-series, and the # EOF terminator",
+            "measured": scrape,
+            "enforced": True,
+            "passed": bool(
+                scrape
+                and scrape.get("has_tcp_batch_quantiles")
+                and scrape.get("has_pool_timeseries")
+                and scrape.get("ends_with_eof")
+            ),
+        },
+    }
+    report = {
+        "machine": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+        "smoke": smoke,
+        "study_config": repr(BENCH_STUDY_CONFIG),
+        "campaign_config": repr(BENCH_CAMPAIGN),
+        "benchmarks": {
+            "telemetry_overhead_bench": telemetry,
+            "campaign_bench": {
+                "runs_s": campaign_runs,
+                "median_s": campaign_median,
+            },
+        },
+        "gates": gates,
+        "suite_wall_s": round(time.perf_counter() - suite_start, 3),
+    }
+    PR7_OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {PR7_OUTPUT}")
+    for name, gate in gates.items():
+        print(f"  {name}: [{'pass' if gate['passed'] else 'FAIL'}]")
+    failed = [n for n, g in gates.items() if g["enforced"] and not g["passed"]]
+    if failed:
+        print(f"FAIL: telemetry gate(s) not met: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def run_obs_gate() -> int:
     """Measure observability overhead, write BENCH_PR2.json, gate at 3 %."""
     artifact_cache.set_enabled(False)
@@ -957,6 +1192,8 @@ def main() -> int:
         return run_pr5_suite(smoke=smoke)
     if "--pr6-only" in sys.argv[1:]:
         return run_pr6_suite(smoke=smoke)
+    if "--telemetry-only" in sys.argv[1:]:
+        return run_pr7_suite(smoke=smoke)
     artifact_cache.set_enabled(False)
     results: dict[str, dict] = {}
 
@@ -1014,6 +1251,7 @@ def main() -> int:
         or run_pr3_suite()
         or run_pr5_suite(smoke=smoke)
         or run_pr6_suite(smoke=smoke)
+        or run_pr7_suite(smoke=smoke)
     )
 
 

@@ -1,0 +1,8 @@
+"""Benchmark trajectory tooling over the committed ``BENCH_PR*.json`` runs.
+
+Each performance PR commits its benchmark medians; :mod:`repro.bench.trend`
+reads the whole family back as per-metric trajectories and gates the
+latest run against the best prior one, so a speedup lost in a later PR
+fails CI instead of silently eroding. Kept import-light (no eager
+submodule imports) so ``python -m repro.bench.trend`` stays warning-free.
+"""

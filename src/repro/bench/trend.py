@@ -1,0 +1,209 @@
+"""Benchmark trend report and regression gate over ``BENCH_PR*.json``.
+
+The repo's perf history is a family of committed benchmark files — one
+per performance PR, all medians measured on the same class of machine.
+This module folds them into per-metric *trajectories* and renders the
+``make bench-report`` table:
+
+* every ``benchmarks.<name>`` entry contributes its median keys
+  (``median_s``, ``*_median_s``, ``*_median_ms``, bare ``ms``) as
+  metrics named ``<name>.<key>``; all are wall-clock, so lower is
+  better;
+* the newest PR's value for each metric is compared against the **best
+  (minimum) prior** value of that metric; a ratio above the tolerance
+  (default 1.25 — medians on a shared 1-core runner jitter, a real
+  regression does not hide under 25 %) is a regression;
+* ``--check`` turns regressions into a non-zero exit, which is what the
+  CI job gates on; ``--out`` writes the same payload as
+  ``bench_trend.json`` for the artifact upload.
+
+Smoke-mode runs (``"smoke": true`` in the file, e.g. a CI-generated
+PR7 telemetry bench) are listed in the trajectory but excluded from
+both sides of the gate: their timings come from deliberately tiny
+configurations and would poison the best-prior floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+#: Benchmark-entry keys treated as comparable medians.
+_MEDIAN_KEY = re.compile(r"(^|_)median(_m?s)?$|^ms$")
+
+DEFAULT_TOLERANCE = 1.25
+
+
+def discover_bench_files(root: str | Path = ".") -> list[tuple[int, Path]]:
+    """``(pr_number, path)`` for every ``BENCH_PR<N>.json``, sorted by N."""
+    out: list[tuple[int, Path]] = []
+    for path in Path(root).glob("BENCH_PR*.json"):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        if match:
+            out.append((int(match.group(1)), path))
+    return sorted(out)
+
+
+def load_bench_points(path: str | Path) -> tuple[dict[str, float], bool]:
+    """``metric name -> median`` from one bench file, plus its smoke flag.
+
+    Only ``benchmarks.<entry>.<median key>`` numbers are extracted —
+    gates, configs, and raw run lists are provenance, not trajectory.
+    """
+    payload = json.loads(Path(path).read_text())
+    points: dict[str, float] = {}
+    for name, entry in (payload.get("benchmarks") or {}).items():
+        if not isinstance(entry, dict):
+            continue
+        for key, value in entry.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                if _MEDIAN_KEY.search(key):
+                    points[f"{name}.{key}"] = float(value)
+    return points, bool(payload.get("smoke", False))
+
+
+def build_trend(
+    root: str | Path = ".", tolerance: float = DEFAULT_TOLERANCE
+) -> dict[str, object]:
+    """The full trend payload: trajectories plus the latest-PR verdict."""
+    files = discover_bench_files(root)
+    trajectories: dict[str, list[dict[str, object]]] = {}
+    smoke_prs: set[int] = set()
+    for pr, path in files:
+        points, smoke = load_bench_points(path)
+        if smoke:
+            smoke_prs.add(pr)
+        for metric, value in points.items():
+            trajectories.setdefault(metric, []).append(
+                {"pr": pr, "value": value, "smoke": smoke}
+            )
+
+    gated_prs = [pr for pr, _ in files if pr not in smoke_prs]
+    latest_pr = gated_prs[-1] if gated_prs else None
+    regressions: list[dict[str, object]] = []
+    improvements: list[dict[str, object]] = []
+    comparisons: list[dict[str, object]] = []
+    if latest_pr is not None:
+        for metric, points in sorted(trajectories.items()):
+            real = [p for p in points if not p["smoke"]]
+            latest = next((p for p in real if p["pr"] == latest_pr), None)
+            prior = [p for p in real if p["pr"] < latest_pr]
+            if latest is None or not prior:
+                continue
+            best = min(prior, key=lambda p: p["value"])
+            ratio = (
+                latest["value"] / best["value"] if best["value"] > 0 else None
+            )
+            row = {
+                "metric": metric,
+                "latest_pr": latest_pr,
+                "latest": latest["value"],
+                "best_prior_pr": best["pr"],
+                "best_prior": best["value"],
+                "ratio": round(ratio, 3) if ratio is not None else None,
+            }
+            comparisons.append(row)
+            if ratio is not None and ratio > tolerance:
+                regressions.append(row)
+            elif ratio is not None and ratio < 1.0:
+                improvements.append(row)
+
+    return {
+        "schema": "repro.bench/trend/v1",
+        "files": [
+            {"pr": pr, "path": str(path), "smoke": pr in smoke_prs}
+            for pr, path in files
+        ],
+        "tolerance": tolerance,
+        "latest_pr": latest_pr,
+        "trajectories": {
+            metric: points for metric, points in sorted(trajectories.items())
+        },
+        "comparisons": comparisons,
+        "improvements": improvements,
+        "regressions": regressions,
+        "verdict": "regression" if regressions else "ok",
+    }
+
+
+def render_report(trend: dict[str, object]) -> str:
+    """Human-readable trajectory + verdict for the terminal / CI log."""
+    lines: list[str] = []
+    files = trend["files"]  # type: ignore[index]
+    lines.append(
+        "bench trend over "
+        + ", ".join(
+            f"PR{f['pr']}" + (" (smoke)" if f["smoke"] else "") for f in files
+        )
+    )
+    lines.append("")
+    for metric, points in trend["trajectories"].items():  # type: ignore[union-attr]
+        path = " -> ".join(
+            f"PR{p['pr']}: {p['value']:g}" + ("*" if p["smoke"] else "")
+            for p in points
+        )
+        lines.append(f"  {metric}")
+        lines.append(f"    {path}")
+    lines.append("")
+    comparisons = trend["comparisons"]  # type: ignore[index]
+    if comparisons:
+        lines.append(
+            f"latest gated run: PR{trend['latest_pr']} vs best prior "
+            f"(tolerance {trend['tolerance']}x)"
+        )
+        for row in comparisons:
+            flag = "REGRESSION" if row in trend["regressions"] else (  # type: ignore[operator]
+                "improved" if row in trend["improvements"] else "ok"  # type: ignore[operator]
+            )
+            lines.append(
+                f"  {row['metric']}: {row['latest']:g} vs "
+                f"{row['best_prior']:g} (PR{row['best_prior_pr']}) "
+                f"ratio {row['ratio']} [{flag}]"
+            )
+    else:
+        lines.append("no comparable metrics between the latest PR and priors")
+    lines.append("")
+    lines.append(f"verdict: {trend['verdict']}")
+    if trend["regressions"]:  # type: ignore[index]
+        for row in trend["regressions"]:  # type: ignore[union-attr]
+            lines.append(
+                f"  {row['metric']} regressed {row['ratio']}x vs "
+                f"PR{row['best_prior_pr']}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.trend",
+        description="Aggregate BENCH_PR*.json into a trajectory and gate "
+        "the latest run against the best prior one.",
+    )
+    parser.add_argument("--root", default=".", help="directory holding BENCH_PR*.json")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="regression ratio threshold (default %(default)s)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the trend payload as JSON")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when the latest run regressed")
+    args = parser.parse_args(argv)
+
+    files = discover_bench_files(args.root)
+    if not files:
+        print(f"no BENCH_PR*.json found under {args.root}", file=sys.stderr)
+        return 2
+    trend = build_trend(args.root, tolerance=args.tolerance)
+    print(render_report(trend))
+    if args.out:
+        Path(args.out).write_text(json.dumps(trend, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+    if args.check and trend["verdict"] != "ok":
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -45,6 +45,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           choices=("nearest", "regional", "direct"))
     campaign.add_argument("--out", required=True, help="NDT CSV path")
     campaign.add_argument("--traces", help="traceroute JSONL path")
+    campaign.add_argument("--telemetry-port", type=int, default=None, metavar="PORT",
+                          help="serve live /metrics /healthz /snapshot on "
+                               "localhost:PORT while the campaign runs "
+                               "(0 = ephemeral)")
     campaign.add_argument("--ground-truth", action="store_true",
                           help="include gt_* columns (not part of a public export)")
     campaign.add_argument("--validate", action="store_true",
@@ -180,16 +184,26 @@ def _cmd_campaign(args) -> int:
     from repro.data.ndt_io import write_ndt_csv, write_traceroutes_jsonl
     from repro.platforms.campaign import CampaignConfig
 
-    study = build_study(StudyConfig(seed=args.seed))
-    result = study.run_campaign(
-        CampaignConfig(
-            seed=args.seed,
-            days=args.days,
-            total_tests=args.tests,
-            orgs=tuple(args.orgs) if args.orgs else None,
-            selection_policy=args.policy,
+    server = None
+    if args.telemetry_port is not None:
+        from repro.obs import serve
+
+        server = serve.start_telemetry(args.telemetry_port)
+        print(f"telemetry: {server.url}/metrics while the campaign runs")
+    try:
+        study = build_study(StudyConfig(seed=args.seed))
+        result = study.run_campaign(
+            CampaignConfig(
+                seed=args.seed,
+                days=args.days,
+                total_tests=args.tests,
+                orgs=tuple(args.orgs) if args.orgs else None,
+                selection_policy=args.policy,
+            )
         )
-    )
+    finally:
+        if server is not None:
+            server.stop()
     rows = write_ndt_csv(result.ndt_records, args.out, args.ground_truth)
     print(f"wrote {rows} NDT rows to {args.out}")
     if args.traces:

@@ -8,6 +8,8 @@
     python -m repro.experiments fig1 --profile     # cProfile top-10 per id
     python -m repro.experiments fig1 --trace       # span tree + trace.json
     python -m repro.experiments fig5 --probe-flows # tcp_probe-style series
+    python -m repro.experiments all --telemetry-port 9109  # live /metrics
+    python -m repro.experiments fig2 --sample-profile      # flamegraph
 
 ``--jobs N`` raises the session's parallelism: per-VP loops fan out
 inside each experiment, and ``all`` additionally distributes whole
@@ -22,6 +24,14 @@ machine-readable ``trace.json``. ``--log-level debug --log-json`` turns
 the pipeline's structured logs on as JSONL on stderr. ``--profile``
 wraps each experiment in cProfile and prints its top-10 functions by
 cumulative time (forces serial execution so the numbers mean something).
+
+``--telemetry-port PORT`` (or ``REPRO_TELEMETRY_PORT``) serves live
+``/metrics`` / ``/healthz`` / ``/snapshot`` on localhost while the run
+executes, with the cadence sampler recording per-phase rates;
+``--sample-profile`` (or ``REPRO_PROFILE=1``) runs the ~100 Hz sampling
+profiler, writes ``profile_folded.txt`` beside the manifest, and folds
+per-span CPU attribution into ``trace.json``. Both are telemetry:
+results are byte-identical with them on or off.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from __future__ import annotations
 import argparse
 import cProfile
 import io
+import os
 import pstats
 import sys
 import time
@@ -75,6 +86,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="print the span tree and write trace.json")
     parser.add_argument("--probe-flows", action="store_true",
                         help="record tcp_probe-style series for exemplar flows")
+    parser.add_argument("--telemetry-port", type=int, default=None, metavar="PORT",
+                        help="serve live /metrics /healthz /snapshot on "
+                             "localhost:PORT while running (0 = ephemeral; "
+                             "default REPRO_TELEMETRY_PORT)")
+    parser.add_argument("--sample-profile", action="store_true",
+                        help="run the sampling profiler; writes "
+                             "profile_folded.txt and per-span CPU into "
+                             "trace.json (default REPRO_PROFILE=1)")
     parser.add_argument("--obs-dir", default=".", metavar="DIR",
                         help="directory for run_manifest.json / trace.json")
     parser.add_argument("--log-level", default="warning",
@@ -154,6 +173,42 @@ def main(argv: list[str]) -> int:
     trace.reset()
     if args.probe_flows:
         flowprobe.activate(flowprobe.FlowProbeRecorder())
+
+    telemetry_port = args.telemetry_port
+    if telemetry_port is None:
+        env_port = os.environ.get("REPRO_TELEMETRY_PORT", "").strip()
+        if env_port:
+            try:
+                telemetry_port = int(env_port)
+            except ValueError:
+                print(f"ignoring unparsable REPRO_TELEMETRY_PORT={env_port!r}",
+                      file=sys.stderr)
+    server = None
+    if telemetry_port is not None:
+        from repro.obs import serve
+
+        server = serve.start_telemetry(telemetry_port)
+        print(f"telemetry: {server.url}/metrics while the run executes")
+    sampler = None
+    if server is None and os.environ.get("REPRO_TIMESERIES", "").strip().lower() in (
+        "1", "true", "yes", "on"
+    ):
+        # Record the cadence rings without serving them — the samples
+        # land in the manifest's "timeseries" section instead.
+        from repro.obs import timeseries as obs_timeseries
+
+        sampler = obs_timeseries.default_sampler().start()
+
+    sample_profile = args.sample_profile or (
+        os.environ.get("REPRO_PROFILE", "").strip().lower()
+        in ("1", "true", "yes", "on")
+    )
+    sampling_profiler = None
+    if sample_profile:
+        from repro.obs.profiler import SamplingProfiler
+
+        sampling_profiler = SamplingProfiler().start()
+
     _log.info("running %d experiment(s) with jobs=%d", len(ids), jobs)
 
     suite_start = time.time()
@@ -185,7 +240,25 @@ def main(argv: list[str]) -> int:
         print(f"== {len(ids)} experiments in {wall_s:.1f}s total ==")
 
     # --- observability artifacts (beside the results, never inside) -----
+    profile_summary = None
+    if sampling_profiler is not None:
+        sampling_profiler.stop()
+        folded_path = sampling_profiler.write_folded(args.obs_dir)
+        profile_summary = sampling_profiler.summary()
+        print(f"sampling profile: {folded_path} "
+              f"({sampling_profiler.samples} samples @ {sampling_profiler.hz:g} Hz)")
+    timeseries_snapshot = None
+    if server is not None or sampler is not None:
+        if server is not None:
+            server.stop()
+        if sampler is not None:
+            sampler.stop()
+        from repro.obs import timeseries as obs_timeseries
+
+        timeseries_snapshot = obs_timeseries.snapshot()
     span_tree = trace.tree()
+    if sampling_profiler is not None:
+        sampling_profiler.annotate(span_tree)
     for experiment_id, duration in _experiment_durations(span_tree, ids).items():
         statuses[experiment_id]["duration_s"] = round(duration, 3)
     snapshot = metrics.snapshot()
@@ -201,6 +274,8 @@ def main(argv: list[str]) -> int:
         span_tree=span_tree,
         wall_s=wall_s,
         flow_probes=probe_series,
+        timeseries_snapshot=timeseries_snapshot,
+        profile_summary=profile_summary,
     )
     manifest_path = manifest.write_manifest(payload, args.obs_dir)
     _log.info("wrote %s", manifest_path)

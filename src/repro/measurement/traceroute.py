@@ -21,6 +21,7 @@ with the pathologies the paper (and Luckie et al. [25]) warn about:
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import NamedTuple, Sequence
@@ -38,6 +39,7 @@ _BATCH_CALLS = metrics.counter("trace.batch.calls")
 _BATCH_SCALAR_FALLBACK = metrics.counter("trace.batch.scalar_fallback")
 _TABLE_HITS = metrics.counter("trace.batch.render_table.hits")
 _TABLE_MISSES = metrics.counter("trace.batch.render_table.misses")
+_BATCH_WALL = metrics.histogram("trace.batch.block_wall_s")
 
 #: How many (seed, fraction) worlds' silent-router verdicts to retain.
 #: Normal runs touch one; multi-seed fuzzing cycles through a few — the
@@ -251,6 +253,7 @@ class TracerouteEngine:
         """
         _BATCH_CALLS.inc()
         _BATCH_REQUESTS.inc(len(requests))
+        block_start = time.perf_counter()
         if not compiled_enabled():
             _BATCH_SCALAR_FALLBACK.inc(len(requests))
             return [
@@ -456,6 +459,7 @@ class TracerouteEngine:
             _TABLE_HITS.inc(table_hits)
         if table_misses:
             _TABLE_MISSES.inc(table_misses)
+        _BATCH_WALL.observe(time.perf_counter() - block_start)
         return records
 
     def _alternates(self, router_id: int, probed_ip: int) -> tuple[int, ...]:

@@ -45,6 +45,7 @@ from repro.routing.forwarding import ForwardingPath
 
 _CELLS = metrics.counter("tcp.batch.link_cells_materialized")
 _CELL_HITS = metrics.counter("tcp.batch.link_cell_hits")
+_CELLS_HELD = metrics.gauge("tcp.batch.link_cells_held")
 
 #: One materialized cell: (loss_rate, queue_delay_ms, standing?, available_bps).
 #: ``standing`` is the saturated-link flag (offered load >= capacity) that
@@ -167,6 +168,7 @@ class LinkTableSet:
                 self._cells.clear()
             self._cells[key] = cell
             _CELLS.inc()
+            _CELLS_HELD.set(len(self._cells))
         else:
             _CELL_HITS.inc()
         return cell

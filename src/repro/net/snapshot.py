@@ -25,6 +25,7 @@ import io
 import json
 import os
 import tempfile
+import time
 import zipfile
 from pathlib import Path
 
@@ -39,6 +40,7 @@ SAVES = metrics.counter("snapshot.saves")
 LOADS = metrics.counter("snapshot.loads")
 LOAD_FAILURES = metrics.counter("snapshot.load_failures")
 VERSION_MISMATCHES = metrics.counter("snapshot.version_mismatches")
+LOAD_WALL_MS = metrics.histogram("snapshot.load_ms")
 
 #: Bump when the array schema or encoding changes; stale files are
 #: rejected at load with a warning and rebuilt from the generator.
@@ -161,6 +163,7 @@ def load_arrays(path: Path, *, expect_digest: str | None = None) -> dict | None:
     from the generator; a snapshot is never allowed to crash a run or
     serve tables from a different format.
     """
+    load_start = time.perf_counter()
     try:
         with zipfile.ZipFile(path) as archive:
             meta = _read_meta(archive, path)
@@ -202,4 +205,5 @@ def load_arrays(path: Path, *, expect_digest: str | None = None) -> dict | None:
         _log.warning("failed to load world snapshot %s (%s)", path, error)
         return None
     LOADS.inc()
+    LOAD_WALL_MS.observe((time.perf_counter() - load_start) * 1000.0)
     return {"digest": meta["digest"], "seed": meta["seed"], "arrays": arrays}

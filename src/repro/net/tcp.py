@@ -20,6 +20,7 @@ simulate (cross traffic bursts, host effects).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -40,6 +41,7 @@ _SIGNALS = metrics.counter("tcp.congestion_signals")
 _TIMEOUTS = metrics.counter("tcp.timeout_floor_flows")
 _BATCHES = metrics.counter("tcp.batch.batches")
 _BATCH_SIZE = metrics.histogram("tcp.batch.requests")
+_BATCH_WALL = metrics.histogram("tcp.batch.block_wall_s")
 _PATH_STATIC_HITS = metrics.counter("tcp.batch.path_static_hits")
 
 #: Bottleneck tie-break priority, shared by the scalar and batched paths.
@@ -303,6 +305,7 @@ class TCPModel:
             return []
         _BATCHES.inc()
         _BATCH_SIZE.observe(float(n))
+        block_start = time.perf_counter()
 
         cell = self._tables.cell
         base_l = [0.0] * n
@@ -379,6 +382,7 @@ class TCPModel:
         probe = flowprobe.active()
         total_signals = 0
         floored_count = 0
+        retx_l: list[float] = []
         results: list[PathObservation] = []
         for i, req in enumerate(requests):
             throughput = thr_l[i]
@@ -396,7 +400,7 @@ class TCPModel:
             packets = throughput * duration / mss_bits
             signals = int(round(retx * packets))
             total_signals += signals
-            _RETX_RATE.observe(retx)
+            retx_l.append(retx)
             if floored:
                 floored_count += 1
 
@@ -435,7 +439,9 @@ class TCPModel:
             )
 
         _FLOWS.inc(n)
+        _RETX_RATE.observe_many(retx_l)
         _SIGNALS.inc(total_signals)
         if floored_count:
             _TIMEOUTS.inc(floored_count)
+        _BATCH_WALL.observe(time.perf_counter() - block_start)
         return results

@@ -1,4 +1,4 @@
-"""Observability layer: structured logging, metrics, span tracing, probes.
+"""Observability layer: logging, metrics, tracing, telemetry, profiling.
 
 ``repro.obs`` is the cross-cutting instrumentation the measurement
 pipeline reports through. It never feeds back into results: metrics and
@@ -6,16 +6,25 @@ spans live *beside* experiment outputs (a run with observability off is
 byte-identical to a run with it on), and every hot-path hook is guarded
 so the disabled state costs a single flag check.
 
-Four sub-modules:
+Sub-modules:
 
 * :mod:`repro.obs.log` — stdlib logging with an optional JSONL formatter,
   wired to ``--log-level`` / ``--log-json`` on the CLIs;
-* :mod:`repro.obs.metrics` — process-local counters / gauges / histograms
-  (``REPRO_METRICS=0`` disables collection);
+* :mod:`repro.obs.metrics` — process-local counters / gauges / log-bucket
+  quantile histograms (``REPRO_METRICS=0`` disables collection);
 * :mod:`repro.obs.trace` — ``span("phase")`` timing trees, merged
   deterministically across pool workers and rendered by ``--trace``;
 * :mod:`repro.obs.flowprobe` — opt-in tcp_probe-style per-tick flow
-  series (cwnd / ssthresh / srtt / throughput) for selected flows.
+  series (cwnd / ssthresh / srtt / throughput) for selected flows;
+* :mod:`repro.obs.timeseries` — bounded ring-buffer series plus the
+  background cadence sampler (rates, pool depth, cache ratio, RSS);
+* :mod:`repro.obs.expo` — OpenMetrics text exposition of the registries;
+* :mod:`repro.obs.serve` — the ``/metrics`` ``/healthz`` ``/snapshot``
+  HTTP endpoint (``--telemetry-port`` / ``python -m repro.obs.serve``);
+* :mod:`repro.obs.profiler` — ~100 Hz sampling profiler with
+  collapsed-stack output and per-span CPU attribution;
+* :mod:`repro.obs.manifest` — the ``run_manifest.json`` / ``trace.json``
+  writers (schema v2: resource usage + per-phase wall-clock).
 
 Metric name groups are dot-prefixed by layer (``bgp.*``, ``tcp.batch.*``,
 ``cache.*``); the validation subsystem reports under ``validate.*``

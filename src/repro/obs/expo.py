@@ -1,0 +1,110 @@
+"""OpenMetrics / Prometheus text exposition of the live registries.
+
+Renders :func:`repro.obs.metrics.snapshot` and
+:func:`repro.obs.timeseries.snapshot` as the OpenMetrics text format
+(the ``application/openmetrics-text`` media type Prometheus scrapes):
+
+* counters become ``name_total`` samples of type ``counter``;
+* gauges become plain ``gauge`` samples;
+* log-bucket histograms become ``histogram`` families with cumulative
+  ``_bucket{le="..."}`` samples at the power-of-two boundaries, plus a
+  ``name_quantiles{quantile="0.5|0.95|0.99"}`` gauge family carrying the
+  p50/p95/p99 estimates;
+* each time series contributes its most recent sample as a gauge (the
+  full rings are served by ``/snapshot``).
+
+Metric names are sanitized to the exposition grammar (dots become
+underscores: ``tcp.batch.requests`` → ``tcp_batch_requests``). Rendering
+is a pure function of the snapshots — it never mutates a registry — so
+a scrape can race a running campaign without perturbing it.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs import metrics, timeseries
+
+#: Media type for the /metrics endpoint (what Prometheus negotiates).
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """Map a registry name onto the exposition grammar."""
+    out = _BAD_CHARS.sub("_", name)
+    if not out or not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _histogram_lines(name: str, snap: dict[str, object]) -> list[str]:
+    lines = [f"# TYPE {name} histogram"]
+    count = int(snap.get("count") or 0)
+    buckets = snap.get("buckets") or {}
+    cumulative = 0
+    for bucket in sorted(int(b) for b in buckets):
+        cumulative += int(buckets.get(bucket, buckets.get(str(bucket), 0)))
+        upper = 0.0 if bucket <= metrics.Histogram.ZERO_BUCKET else 2.0 ** bucket
+        lines.append(
+            f'{name}_bucket{{le="{_format_value(upper)}"}} {cumulative}'
+        )
+    lines.append(f'{name}_bucket{{le="+Inf"}} {count}')
+    lines.append(f"{name}_sum {_format_value(float(snap.get('total', 0.0)))}")
+    lines.append(f"{name}_count {count}")
+    quantiles = [(q, snap.get(key)) for q, key in
+                 (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))]
+    if any(value is not None for _, value in quantiles):
+        lines.append(f"# TYPE {name}_quantiles gauge")
+        for q, value in quantiles:
+            if value is not None:
+                lines.append(
+                    f'{name}_quantiles{{quantile="{q}"}} {_format_value(float(value))}'
+                )
+    return lines
+
+
+def render_openmetrics(
+    metrics_snapshot: dict[str, object] | None = None,
+    timeseries_snapshot: dict[str, dict[str, object]] | None = None,
+) -> str:
+    """The registries as one OpenMetrics text document (ends ``# EOF``)."""
+    if metrics_snapshot is None:
+        metrics_snapshot = metrics.snapshot()
+    if timeseries_snapshot is None:
+        timeseries_snapshot = timeseries.snapshot()
+    lines: list[str] = []
+    for raw_name in sorted(metrics_snapshot):
+        value = metrics_snapshot[raw_name]
+        name = sanitize_name(raw_name)
+        if isinstance(value, dict):
+            lines.extend(_histogram_lines(name, value))
+        elif isinstance(value, float):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(value)}")
+        else:
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}_total {_format_value(float(value))}")
+    for raw_name in sorted(timeseries_snapshot):
+        ring = timeseries_snapshot[raw_name]
+        samples = ring.get("samples") or []
+        if not samples:
+            continue
+        t, value = samples[-1]
+        name = sanitize_name(f"ts.{raw_name}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(float(value))} {_format_value(float(t))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

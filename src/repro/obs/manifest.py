@@ -6,6 +6,13 @@ digest that determine the world, per-experiment status and duration, the
 cache hit/miss counters, pool stats, the span tree, and any flow-probe
 series. Two runs that should have been identical can be diffed at this
 level before anyone re-reads 60k NDT records.
+
+Schema v2 adds two sections that are recorded *even when metrics are
+off* (they come from ``getrusage`` and the span tree, not the metrics
+registry): ``resource`` (peak RSS and CPU split of the whole run) and
+``phases`` (per-phase wall-clock flattened from the top of the span
+tree), plus optional ``profile`` / ``timeseries`` sections when the
+sampling profiler or cadence sampler ran.
 """
 
 from __future__ import annotations
@@ -15,8 +22,51 @@ import platform
 import time
 from pathlib import Path
 
-MANIFEST_SCHEMA = "repro.obs/run-manifest/v1"
+MANIFEST_SCHEMA = "repro.obs/run-manifest/v2"
 TRACE_SCHEMA = "repro.obs/trace/v1"
+
+
+def resource_usage() -> dict[str, object]:
+    """Peak RSS and CPU time of this process, from ``getrusage``.
+
+    ``ru_maxrss`` is kilobytes on Linux (bytes on macOS — normalized
+    here by assuming kB, which is right for the CI/runtime platform).
+    Independent of the metrics registry so the manifest records it even
+    under ``REPRO_METRICS=0``.
+    """
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        return {
+            "peak_rss_bytes": int(usage.ru_maxrss) * 1024,
+            "ru_utime_s": round(usage.ru_utime, 3),
+            "ru_stime_s": round(usage.ru_stime, 3),
+        }
+    except Exception:  # pragma: no cover - platforms without getrusage
+        return {"peak_rss_bytes": None, "ru_utime_s": None, "ru_stime_s": None}
+
+
+def phase_walls(span_tree: list[dict[str, object]]) -> list[dict[str, object]]:
+    """Per-phase wall-clock from the top two levels of the span tree.
+
+    Flattens roots and their direct children into ``{phase, wall_s}``
+    rows (children as ``root/child``), preserving tree order — a quick
+    "where did the time go" table without parsing the nested trace.
+    """
+    rows: list[dict[str, object]] = []
+    for root in span_tree:
+        if root.get("duration_s") is not None:
+            rows.append({"phase": root["name"], "wall_s": root["duration_s"]})
+        for child in root.get("children", ()):  # type: ignore[union-attr]
+            if child.get("duration_s") is not None:
+                rows.append(
+                    {
+                        "phase": f"{root['name']}/{child['name']}",
+                        "wall_s": child["duration_s"],
+                    }
+                )
+    return rows
 
 
 def build_manifest(
@@ -30,6 +80,8 @@ def build_manifest(
     span_tree: list[dict[str, object]],
     wall_s: float,
     flow_probes: list[dict[str, object]] | None = None,
+    timeseries_snapshot: dict[str, object] | None = None,
+    profile_summary: dict[str, object] | None = None,
 ) -> dict[str, object]:
     """Assemble the manifest payload (pure; callers decide where it goes)."""
     cache = {
@@ -37,7 +89,7 @@ def build_manifest(
         "misses": metrics_snapshot.get("artifact_cache.misses", 0),
         "corrupt_drops": metrics_snapshot.get("artifact_cache.corrupt_drops", 0),
     }
-    return {
+    manifest: dict[str, object] = {
         "schema": MANIFEST_SCHEMA,
         "written_unix": round(time.time(), 3),
         "python": platform.python_version(),
@@ -46,6 +98,8 @@ def build_manifest(
         "ids": list(ids),
         "jobs": jobs,
         "wall_s": round(wall_s, 3),
+        "resource": resource_usage(),
+        "phases": phase_walls(span_tree),
         "experiments": experiments,
         "cache": cache,
         "pool": pool_stats,
@@ -53,6 +107,11 @@ def build_manifest(
         "trace": span_tree,
         "flow_probes": list(flow_probes or []),
     }
+    if timeseries_snapshot:
+        manifest["timeseries"] = timeseries_snapshot
+    if profile_summary:
+        manifest["profile"] = profile_summary
+    return manifest
 
 
 def write_manifest(manifest: dict[str, object], directory: str | Path = ".") -> Path:

@@ -17,9 +17,15 @@ boundaries without touching the workers' result payloads.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 from typing import Union
+
+try:  # numpy speeds up bulk bucket counting; the scalar path is complete.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the toolchain
+    _np = None
 
 _ENV_TOGGLE = "REPRO_METRICS"
 
@@ -93,14 +99,27 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/total/min/max).
+    """Streaming log-bucket summary of observed values.
 
-    Deliberately bucket-free: the consumers (manifest, bench overhead
-    check) want aggregates, and four floats keep the hot-path cost and
-    the cross-process merge trivial.
+    Aggregates (count/total/min/max/mean) plus fixed log2 buckets: a
+    positive value lands in the bucket of its binary exponent — bucket
+    ``b`` covers ``[2**(b-1), 2**b)`` — and non-positive values land in
+    :data:`ZERO_BUCKET`. Fixed boundaries make the cross-process merge a
+    plain bucket-wise addition, so merging is associative and
+    commutative: merge order can never change :func:`snapshot`.
+
+    :meth:`quantile` reads p50/p95/p99 off the cumulative bucket counts
+    as the target bucket's upper bound clamped to the observed min/max —
+    accurate to within a factor of two, which is what latency telemetry
+    needs (is p99 8 ms or 8 s?) at the cost of one dict bump per
+    observation.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    #: Bucket for values <= 0 — below the exponent of the smallest
+    #: subnormal float, so it can never collide with a real exponent.
+    ZERO_BUCKET = -1075
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -108,6 +127,8 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        #: Binary exponent -> observation count (sparse).
+        self.buckets: dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         if not _enabled:
@@ -119,35 +140,113 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        bucket = math.frexp(value)[1] if value > 0.0 else self.ZERO_BUCKET
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def observe_many(self, values) -> None:
+        """Bulk :meth:`observe` for hot loops that already hold a block.
+
+        Aggregates match a sequential ``observe`` loop: the total is
+        accumulated left-to-right (bit-identical to repeated ``+=``) and
+        min/max are the same comparisons. Bucket counting is vectorized
+        when numpy is available — one ``frexp`` over the block instead
+        of a dict bump per value.
+        """
+        if not _enabled:
+            return
+        if _np is not None and len(values) >= 32:
+            arr = _np.asarray(values, dtype=_np.float64)
+            floats = arr.tolist()
+        else:
+            arr = None
+            floats = [float(value) for value in values]
+        n = len(floats)
+        if n == 0:
+            return
+        self.count += n
+        total = self.total
+        low = high = floats[0]
+        for value in floats:
+            total += value
+            if value < low:
+                low = value
+            elif value > high:
+                high = value
+        self.total = total
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+        buckets = self.buckets
+        if arr is not None:
+            exponents = _np.where(arr > 0.0, _np.frexp(arr)[1], self.ZERO_BUCKET)
+            uniq, counts = _np.unique(exponents, return_counts=True)
+            for bucket, bucket_count in zip(uniq.tolist(), counts.tolist()):
+                bucket = int(bucket)
+                buckets[bucket] = buckets.get(bucket, 0) + int(bucket_count)
+        else:
+            for value in floats:
+                bucket = math.frexp(value)[1] if value > 0.0 else self.ZERO_BUCKET
+                buckets[bucket] = buckets.get(bucket, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile from the buckets."""
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= rank:
+                upper = 0.0 if bucket == self.ZERO_BUCKET else 2.0 ** bucket
+                return min(max(upper, self.min), self.max)
+        return self.max  # pragma: no cover - counts always sum to self.count
 
     def _reset(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.buckets.clear()
 
-    def _snapshot(self) -> dict[str, float]:
-        return {
+    def _snapshot(self) -> dict[str, object]:
+        snap: dict[str, object] = {
             "count": self.count,
             "total": round(self.total, 6),
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": round(self.mean, 6),
         }
+        if self.count:
+            snap["p50"] = self.quantile(0.50)
+            snap["p95"] = self.quantile(0.95)
+            snap["p99"] = self.quantile(0.99)
+            snap["buckets"] = dict(self.buckets)
+        return snap
 
-    def _merge(self, snap: dict[str, float]) -> None:
-        if not snap.get("count"):
+    def _merge(self, snap: dict[str, object]) -> None:
+        count = int(snap.get("count") or 0)
+        if count <= 0:
+            # A worker that recorded nothing may ship its seed state
+            # (min=inf / max=-inf); folding that in would corrupt the
+            # merged extrema, so an empty snapshot merges as a no-op.
             return
-        self.count += int(snap["count"])
-        self.total += float(snap["total"])
-        if snap["min"] < self.min:
-            self.min = float(snap["min"])
-        if snap["max"] > self.max:
-            self.max = float(snap["max"])
+        self.count += count
+        self.total += float(snap.get("total", 0.0))
+        low, high = snap.get("min"), snap.get("max")
+        if low is not None and math.isfinite(low) and low < self.min:
+            self.min = float(low)
+        if high is not None and math.isfinite(high) and high > self.max:
+            self.max = float(high)
+        # Bucket keys arrive as ints from pickle but as strings after a
+        # JSON round-trip (manifest replays); accept both.
+        for bucket, bucket_count in (snap.get("buckets") or {}).items():
+            bucket = int(bucket)
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + int(bucket_count)
 
 
 Metric = Union[Counter, Gauge, Histogram]

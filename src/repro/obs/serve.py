@@ -1,0 +1,221 @@
+"""Live telemetry endpoint: ``/metrics``, ``/healthz``, ``/snapshot``.
+
+A stdlib-asyncio HTTP server that exposes the observability registries
+of *this process* while a campaign runs — the seed of the ROADMAP's
+resident measurement service. Three routes:
+
+* ``GET /metrics`` — OpenMetrics text (:mod:`repro.obs.expo`), the
+  format Prometheus scrapes;
+* ``GET /healthz`` — liveness JSON (status, pid, uptime);
+* ``GET /snapshot`` — the full machine-readable state: every metric,
+  every time-series ring, and the last pool fan-out stats.
+
+Two ways in:
+
+* ``python -m repro.obs.serve --port 9109`` runs it in the foreground
+  with the default cadence sampler — point it at a finished run's
+  process or use it as a standalone scrape target;
+* ``start_telemetry(port)`` (what ``--telemetry-port`` on experiment
+  runs calls) serves from a daemon thread beside the measurement loop,
+  so ``curl localhost:PORT/metrics`` answers mid-campaign.
+
+Handlers only *read* snapshots; they cannot perturb a measurement, and
+the whole module is inert unless explicitly started.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import threading
+import time
+
+from repro.obs import expo, metrics, timeseries
+from repro.obs.log import configure_logging, get_logger
+
+_log = get_logger(__name__)
+
+_started_unix = time.time()
+
+
+def _healthz_payload() -> dict[str, object]:
+    return {
+        "status": "ok",
+        "pid": os.getpid(),
+        "uptime_s": round(time.time() - _started_unix, 3),
+        "metrics_enabled": metrics.enabled(),
+    }
+
+
+def _snapshot_payload() -> dict[str, object]:
+    from repro.util.parallel import pool_stats
+
+    return {
+        "written_unix": round(time.time(), 3),
+        "metrics": metrics.snapshot(),
+        "timeseries": timeseries.snapshot(),
+        "pool": pool_stats(),
+    }
+
+
+def _respond(status: str, content_type: str, body: bytes) -> bytes:
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def route(method: str, path: str) -> bytes:
+    """Dispatch one request to its response bytes (pure, test-friendly)."""
+    path = path.split("?", 1)[0]
+    if method != "GET":
+        return _respond("405 Method Not Allowed", "text/plain; charset=utf-8",
+                        b"only GET is supported\n")
+    if path == "/metrics":
+        return _respond("200 OK", expo.CONTENT_TYPE,
+                        expo.render_openmetrics().encode("utf-8"))
+    if path == "/healthz":
+        body = json.dumps(_healthz_payload()).encode("utf-8")
+        return _respond("200 OK", "application/json", body)
+    if path == "/snapshot":
+        body = json.dumps(_snapshot_payload(), default=str).encode("utf-8")
+        return _respond("200 OK", "application/json", body)
+    return _respond("404 Not Found", "text/plain; charset=utf-8",
+                    f"no route {path}; try /metrics /healthz /snapshot\n".encode())
+
+
+async def _handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    try:
+        request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return
+        method, path = parts[0], parts[1]
+        while True:  # drain headers; we never need them
+            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        writer.write(route(method, path))
+        await writer.drain()
+    except (asyncio.TimeoutError, ConnectionError):  # pragma: no cover - client hangup
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:  # pragma: no cover
+            pass
+
+
+class TelemetryServer:
+    """The endpoint on a daemon thread, beside the measurement loop.
+
+    ``start()`` blocks until the socket is bound (so ``.port`` is the
+    real ephemeral port when 0 was requested) and ``stop()`` shuts the
+    loop down and joins the thread. An optional sampler is owned by the
+    server: started with it, stopped with it.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        sampler: timeseries.Sampler | None = None,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.sampler = sampler
+        self._ready = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(_handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            await self._shutdown.wait()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as error:  # pragma: no cover - bind failures
+            self._error = error
+            self._ready.set()
+
+    def start(self) -> "TelemetryServer":
+        if self._thread is not None:
+            return self
+        if self.sampler is not None:
+            self.sampler.start()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._error is not None:
+            raise RuntimeError(f"telemetry server failed to start: {self._error}")
+        _log.info("telemetry endpoint listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self._loop is not None and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def start_telemetry(
+    port: int, host: str = "127.0.0.1", interval_s: float | None = None
+) -> TelemetryServer:
+    """Start the endpoint plus the default cadence sampler (one call)."""
+    sampler = timeseries.default_sampler(interval_s)
+    return TelemetryServer(port=port, host=host, sampler=sampler).start()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.serve",
+        description="Serve /metrics, /healthz and /snapshot for this process.",
+    )
+    parser.add_argument("--port", type=int, default=9109)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--interval", type=float, default=None, metavar="S",
+                        help="sampler cadence seconds (default REPRO_TS_INTERVAL or 1.0)")
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warning", "error"))
+    args = parser.parse_args(argv)
+    configure_logging(level=args.log_level)
+    server = start_telemetry(args.port, host=args.host, interval_s=args.interval)
+    print(f"serving telemetry on {server.url} "
+          "(routes: /metrics /healthz /snapshot; ctrl-c to stop)")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,290 @@
+"""Bounded ring-buffer time series and the background cadence sampler.
+
+Scalar metrics answer "how many / how long in total"; the telemetry
+endpoint and the streaming-detector work (ROADMAP item 3) need "what is
+the rate *right now* and what was it two minutes ago". This module adds
+that axis without touching any hot path: a :class:`RingSeries` is a
+fixed-capacity ring of ``(unix_time, value)`` samples, and a
+:class:`Sampler` is a daemon thread that, every ``REPRO_TS_INTERVAL``
+seconds (default 1.0), evaluates registered probe callables and records
+their values.
+
+The probes read *existing* instrumentation — counter deltas become
+per-second rates (tests/s from ``tcp.flows_simulated``, traces/s from
+``trace.batch.requests``), the artifact-cache hit ratio comes from its
+hit/miss counters, pool depth from the ``parallel.inflight_units``
+gauge, and RSS from ``/proc/self/statm`` — so the measurement pipeline
+pays nothing it was not already paying. Nothing samples unless a
+Sampler is explicitly started (``--telemetry-port``, ``python -m
+repro.obs.serve``, or ``REPRO_TIMESERIES=1`` on experiment runs), which
+keeps the PR 2 invariant: telemetry off costs zero.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Callable
+
+from repro.obs import metrics
+from repro.obs.log import get_logger
+
+_ENV_INTERVAL = "REPRO_TS_INTERVAL"
+_ENV_CAPACITY = "REPRO_TS_CAPACITY"
+
+_DEFAULT_CAPACITY = 512
+
+_log = get_logger(__name__)
+
+
+def default_interval_s() -> float:
+    """Sampler cadence from ``REPRO_TS_INTERVAL`` (seconds, default 1.0)."""
+    raw = os.environ.get(_ENV_INTERVAL, "").strip()
+    try:
+        interval = float(raw) if raw else 1.0
+    except ValueError:
+        _log.warning("ignoring unparsable %s=%r", _ENV_INTERVAL, raw)
+        return 1.0
+    return max(0.01, interval)
+
+
+def default_capacity() -> int:
+    """Ring capacity from ``REPRO_TS_CAPACITY`` (samples, default 512)."""
+    raw = os.environ.get(_ENV_CAPACITY, "").strip()
+    try:
+        capacity = int(raw) if raw else _DEFAULT_CAPACITY
+    except ValueError:
+        _log.warning("ignoring unparsable %s=%r", _ENV_CAPACITY, raw)
+        return _DEFAULT_CAPACITY
+    return max(2, capacity)
+
+
+class RingSeries:
+    """Fixed-capacity ring of ``(unix_time, value)`` samples.
+
+    Memory is bounded at construction — a campaign that runs for a week
+    keeps the most recent ``capacity`` samples and silently forgets the
+    rest, which is exactly what a live endpoint wants to serve.
+    """
+
+    __slots__ = ("name", "capacity", "_times", "_values", "_next", "_filled")
+
+    def __init__(self, name: str, capacity: int | None = None) -> None:
+        self.name = name
+        self.capacity = capacity if capacity is not None else default_capacity()
+        self._times: list[float] = [0.0] * self.capacity
+        self._values: list[float] = [0.0] * self.capacity
+        self._next = 0
+        self._filled = 0
+
+    def __len__(self) -> int:
+        return self._filled
+
+    def record(self, value: float, t: float | None = None) -> None:
+        """Append one sample, evicting the oldest once the ring is full."""
+        index = self._next
+        self._times[index] = time.time() if t is None else float(t)
+        self._values[index] = float(value)
+        self._next = (index + 1) % self.capacity
+        if self._filled < self.capacity:
+            self._filled += 1
+
+    def last(self) -> tuple[float, float] | None:
+        """The most recent ``(unix_time, value)`` sample, if any."""
+        if not self._filled:
+            return None
+        index = (self._next - 1) % self.capacity
+        return (self._times[index], self._values[index])
+
+    def samples(self) -> list[tuple[float, float]]:
+        """All held samples, oldest first."""
+        if self._filled < self.capacity:
+            indices = range(self._filled)
+        else:
+            indices = (
+                (self._next + offset) % self.capacity
+                for offset in range(self.capacity)
+            )
+        return [(self._times[i], self._values[i]) for i in indices]
+
+    def _reset(self) -> None:
+        self._next = 0
+        self._filled = 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "samples": [[round(t, 3), v] for t, v in self.samples()],
+        }
+
+
+_lock = threading.Lock()
+_registry: dict[str, RingSeries] = {}
+
+
+def series(name: str, capacity: int | None = None) -> RingSeries:
+    """Get-or-create the ring called ``name`` (stable object identity)."""
+    ring = _registry.get(name)
+    if ring is None:
+        with _lock:
+            ring = _registry.get(name)
+            if ring is None:
+                ring = RingSeries(name, capacity)
+                _registry[name] = ring
+    return ring
+
+
+def reset() -> None:
+    """Drop every ring's samples in place (between-runs hygiene)."""
+    with _lock:
+        for ring in _registry.values():
+            ring._reset()
+
+
+def snapshot() -> dict[str, dict[str, object]]:
+    """Name → plain-dict dump of every non-empty ring, sorted by name."""
+    return {
+        name: _registry[name].to_dict()
+        for name in sorted(_registry)
+        if len(_registry[name])
+    }
+
+
+#: A probe returns the next sample for its series, or None to skip this
+#: tick (e.g. a rate probe's first evaluation, or "no traffic yet").
+Probe = Callable[[], "float | None"]
+
+
+def rss_bytes() -> float | None:
+    """Resident set size of this process, from ``/proc/self/statm``."""
+    try:
+        with open("/proc/self/statm") as handle:
+            pages = int(handle.read().split()[1])
+        return float(pages * os.sysconf("SC_PAGE_SIZE"))
+    except (OSError, ValueError, IndexError):
+        pass
+    try:  # pragma: no cover - non-/proc platforms
+        import resource
+
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return float(peak_kb * 1024)
+    except Exception:
+        return None
+
+
+def counter_rate(counter: metrics.Counter) -> Probe:
+    """Probe: per-second rate of a counter between consecutive ticks."""
+    state = {"t": None, "value": 0}
+
+    def probe() -> float | None:
+        now = time.monotonic()
+        value = counter.value
+        previous_t, previous_value = state["t"], state["value"]
+        state["t"], state["value"] = now, value
+        if previous_t is None or now <= previous_t:
+            return None
+        return (value - previous_value) / (now - previous_t)
+
+    return probe
+
+
+def ratio(numerator: metrics.Counter, denominator: metrics.Counter) -> Probe:
+    """Probe: ``numerator / (numerator + denominator)``, None if no traffic."""
+
+    def probe() -> float | None:
+        total = numerator.value + denominator.value
+        if total <= 0:
+            return None
+        return numerator.value / total
+
+    return probe
+
+
+class Sampler:
+    """Background thread recording registered probes at a fixed cadence.
+
+    ``tick()`` is also callable directly (tests, single-shot refresh
+    before serving ``/snapshot``); the thread just calls it on a timer.
+    Probe exceptions are logged and dropped — telemetry must never take
+    a measurement run down.
+    """
+
+    def __init__(self, interval_s: float | None = None) -> None:
+        self.interval_s = (
+            default_interval_s() if interval_s is None else max(0.01, float(interval_s))
+        )
+        self._probes: list[tuple[RingSeries, Probe]] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.ticks = 0
+
+    def add(self, name: str, probe: Probe, capacity: int | None = None) -> RingSeries:
+        ring = series(name, capacity)
+        self._probes.append((ring, probe))
+        return ring
+
+    def add_rate(self, name: str, counter: metrics.Counter) -> RingSeries:
+        return self.add(name, counter_rate(counter))
+
+    def tick(self, t: float | None = None) -> None:
+        """Evaluate every probe once and record non-None samples."""
+        now = time.time() if t is None else t
+        for ring, probe in self._probes:
+            try:
+                value = probe()
+            except Exception as error:  # noqa: BLE001 - telemetry is best-effort
+                _log.warning("timeseries probe %s failed: %s", ring.name, error)
+                continue
+            if value is not None:
+                ring.record(value, t=now)
+        self.ticks += 1
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "Sampler":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-ts-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.tick()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def default_sampler(interval_s: float | None = None) -> Sampler:
+    """A sampler wired to the pipeline's standard per-phase rate probes.
+
+    Covers the layers the campaign engine exercises: NDT tests/s from
+    the batch TCP engine, traces/s from ``trace_batch``, pool dispatch
+    rate and in-flight depth, artifact-cache hit ratio, and process RSS.
+    """
+    sampler = Sampler(interval_s)
+    sampler.add_rate("pipeline.tests_per_s", metrics.counter("tcp.flows_simulated"))
+    sampler.add_rate("pipeline.traces_per_s", metrics.counter("trace.batch.requests"))
+    sampler.add_rate("pool.units_per_s", metrics.counter("parallel.units_dispatched"))
+    pool_depth = metrics.gauge("parallel.inflight_units")
+    sampler.add("pool.inflight_units", lambda: pool_depth.value)
+    sampler.add(
+        "cache.hit_ratio",
+        ratio(
+            metrics.counter("artifact_cache.hits"),
+            metrics.counter("artifact_cache.misses"),
+        ),
+    )
+    sampler.add("proc.rss_bytes", rss_bytes)
+    return sampler

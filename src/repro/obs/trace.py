@@ -122,14 +122,28 @@ def shape(nodes: list[dict[str, object]] | None = None) -> list:
     ]
 
 
-def render(nodes: list[dict[str, object]] | None = None, indent: int = 0) -> str:
-    """ASCII tree with durations, for ``--trace`` terminal output."""
+def render(
+    nodes: list[dict[str, object]] | None = None,
+    indent: int = 0,
+    parent_duration_s: float | None = None,
+) -> str:
+    """ASCII tree with durations and percent-of-parent, for ``--trace``.
+
+    Each span with a duration shows it, and — when its parent also has
+    one — what fraction of the parent's wall-clock it accounts for, so
+    the terminal output answers "where did the time go" directly.
+    """
     if nodes is None:
         nodes = tree()
     lines: list[str] = []
     for node in nodes:
         duration = node.get("duration_s")
-        stamp = f"  {float(duration):8.3f}s" if duration is not None else ""
+        stamp = ""
+        if duration is not None:
+            stamp = f"  {float(duration):8.3f}s"
+            if parent_duration_s:
+                share = 100.0 * float(duration) / parent_duration_s
+                stamp += f" ({share:5.1f}%)"
         meta = node.get("meta") or {}
         suffix = (
             "  [" + ", ".join(f"{k}={v}" for k, v in meta.items()) + "]"
@@ -139,5 +153,11 @@ def render(nodes: list[dict[str, object]] | None = None, indent: int = 0) -> str
         lines.append(f"{'  ' * indent}{node['name']}{stamp}{suffix}")
         children = node.get("children")
         if children:
-            lines.append(render(children, indent + 1))
+            lines.append(
+                render(
+                    children,
+                    indent + 1,
+                    parent_duration_s=float(duration) if duration else None,
+                )
+            )
     return "\n".join(lines)

@@ -37,6 +37,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Callable
 
@@ -60,6 +61,7 @@ _MISSES = metrics.counter("artifact_cache.misses")
 _CORRUPT = metrics.counter("artifact_cache.corrupt_drops")
 _BYTES_READ = metrics.counter("artifact_cache.bytes_read")
 _BYTES_WRITTEN = metrics.counter("artifact_cache.bytes_written")
+_LOAD_WALL = metrics.histogram("artifact_cache.load_s")
 
 #: Exceptions pickle raises on a truncated/garbled/version-skewed entry.
 #: Anything outside this set (KeyboardInterrupt, MemoryError, bugs in
@@ -140,6 +142,7 @@ def load(kind: str, key: str) -> Any | None:
     if not enabled():
         return None
     path = _path_for(kind, key)
+    start = time.perf_counter()
     try:
         with path.open("rb") as handle:
             value = pickle.load(handle)
@@ -168,6 +171,7 @@ def load(kind: str, key: str) -> Any | None:
         _log.warning("cache read failed for %s: %s", path, error)
         return None
     _HITS.inc()
+    _LOAD_WALL.observe(time.perf_counter() - start)
     if metrics.enabled():
         try:
             _BYTES_READ.inc(path.stat().st_size)

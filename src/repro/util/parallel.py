@@ -79,6 +79,9 @@ _SERIAL = obs_metrics.counter("parallel.serial_fallbacks")
 _CLAMPS = obs_metrics.counter("parallel.cpu_clamps")
 _UNIT_WALL = obs_metrics.histogram("parallel.unit_wall_s")
 _SKEW = obs_metrics.gauge("parallel.chunk_skew")
+#: Units submitted to the current fan-out and not yet merged back; the
+#: telemetry sampler graphs this as pool queue depth.
+_INFLIGHT = obs_metrics.gauge("parallel.inflight_units")
 
 #: What the most recent :func:`parallel_map` call did (see pool_stats()).
 #: ``requested_workers`` is the caller's ask (--jobs after None
@@ -315,12 +318,17 @@ def _run_serial(
     try:
         if setup is not None:
             setup(context)
-        results = [func(item) for item in work]
+        results = []
+        _INFLIGHT.set(len(work))
+        for index, item in enumerate(work):
+            results.append(func(item))
+            _INFLIGHT.set(len(work) - index - 1)
         _last_stats["worker_stats"] = _fold_worker_stats(
             {os.getpid(): _provider_totals()}
         )
         return results
     finally:
+        _INFLIGHT.set(0)
         _worker_context = prev_context
         _worker_stats_base = prev_base
 
@@ -402,14 +410,20 @@ def parallel_map(
         "fan-out: %d units across %d workers (chunksize %d)",
         len(work), max_workers, chunksize,
     )
-    with ProcessPoolExecutor(
-        max_workers=max_workers,
-        mp_context=_pool_context(),
-        initializer=_worker_init,
-        initargs=(obs_trace.enabled(), obs_metrics.enabled_override(), context, setup),
-    ) as pool:
-        wrapped = functools.partial(_observed_unit, func, observe)
-        outs = list(pool.map(wrapped, work, chunksize=chunksize))
+    _INFLIGHT.set(len(work))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=_pool_context(),
+            initializer=_worker_init,
+            initargs=(
+                obs_trace.enabled(), obs_metrics.enabled_override(), context, setup,
+            ),
+        ) as pool:
+            wrapped = functools.partial(_observed_unit, func, observe)
+            outs = list(pool.map(wrapped, work, chunksize=chunksize))
+    finally:
+        _INFLIGHT.set(0)
     results: list[R] = []
     unit_walls: list[float] = []
     # Provider totals are cumulative per worker process; keeping the last

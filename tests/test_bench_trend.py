@@ -1,0 +1,121 @@
+"""The bench-trend subsystem: trajectories over BENCH_PR*.json.
+
+Synthetic bench files in a temp dir exercise the discovery, the median
+extraction, the latest-vs-best-prior gate, and the smoke exclusion; a
+final test runs the real CLI against the repo's committed files so a
+perf PR that regresses the family fails in the suite, not just in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import trend
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _write(root: Path, pr: int, benchmarks: dict, smoke: bool = False) -> Path:
+    path = root / f"BENCH_PR{pr}.json"
+    path.write_text(json.dumps({"benchmarks": benchmarks, "smoke": smoke}))
+    return path
+
+
+class TestDiscovery:
+    def test_sorted_by_pr_number(self, tmp_path):
+        _write(tmp_path, 10, {})
+        _write(tmp_path, 2, {})
+        (tmp_path / "BENCH_PRx.json").write_text("{}")  # not a bench file
+        found = trend.discover_bench_files(tmp_path)
+        assert [pr for pr, _ in found] == [2, 10]
+
+    def test_median_key_extraction(self, tmp_path):
+        path = _write(tmp_path, 1, {
+            "campaign": {"median_s": 2.0, "speedup": 3.0, "runs": [1, 2]},
+            "kernel": {"batch_median_ms": 5.0, "ms": 7.0, "gate": True},
+        })
+        points, smoke = trend.load_bench_points(path)
+        assert points == {
+            "campaign.median_s": 2.0,
+            "kernel.batch_median_ms": 5.0,
+            "kernel.ms": 7.0,
+        }
+        assert smoke is False
+
+
+class TestGate:
+    def test_regression_detected_against_best_prior(self, tmp_path):
+        _write(tmp_path, 1, {"campaign": {"median_s": 2.0}})
+        _write(tmp_path, 2, {"campaign": {"median_s": 1.0}})  # the best
+        _write(tmp_path, 3, {"campaign": {"median_s": 1.4}})  # 1.4x best
+        payload = trend.build_trend(tmp_path, tolerance=1.25)
+        assert payload["verdict"] == "regression"
+        (row,) = payload["regressions"]
+        assert row["metric"] == "campaign.median_s"
+        assert row["best_prior_pr"] == 2
+        assert row["ratio"] == 1.4
+
+    def test_within_tolerance_is_ok(self, tmp_path):
+        _write(tmp_path, 1, {"campaign": {"median_s": 1.0}})
+        _write(tmp_path, 2, {"campaign": {"median_s": 1.2}})
+        payload = trend.build_trend(tmp_path, tolerance=1.25)
+        assert payload["verdict"] == "ok"
+        assert payload["regressions"] == []
+
+    def test_improvement_is_recorded(self, tmp_path):
+        _write(tmp_path, 1, {"campaign": {"median_s": 2.0}})
+        _write(tmp_path, 2, {"campaign": {"median_s": 1.0}})
+        payload = trend.build_trend(tmp_path)
+        (row,) = payload["improvements"]
+        assert row["ratio"] == 0.5
+
+    def test_smoke_files_are_listed_but_not_gated(self, tmp_path):
+        _write(tmp_path, 1, {"campaign": {"median_s": 1.0}})
+        # A smoke run that would otherwise be both a regression (as the
+        # latest) and a poisoned best-prior floor (tiny config = fast).
+        _write(tmp_path, 2, {"campaign": {"median_s": 0.01}}, smoke=True)
+        _write(tmp_path, 3, {"campaign": {"median_s": 1.1}})
+        payload = trend.build_trend(tmp_path, tolerance=1.25)
+        assert payload["latest_pr"] == 3
+        assert payload["verdict"] == "ok"
+        (row,) = payload["comparisons"]
+        assert row["best_prior"] == 1.0  # PR2's 0.01 did not become the floor
+        assert [f["smoke"] for f in payload["files"]] == [False, True, False]
+
+    def test_disjoint_metrics_have_no_comparison(self, tmp_path):
+        _write(tmp_path, 1, {"old": {"median_s": 1.0}})
+        _write(tmp_path, 2, {"new": {"median_s": 1.0}})
+        payload = trend.build_trend(tmp_path)
+        assert payload["comparisons"] == []
+        assert payload["verdict"] == "ok"
+
+
+class TestCli:
+    def test_check_exit_codes(self, tmp_path, capsys):
+        assert trend.main(["--root", str(tmp_path)]) == 2  # no files
+        _write(tmp_path, 1, {"campaign": {"median_s": 1.0}})
+        _write(tmp_path, 2, {"campaign": {"median_s": 9.0}})
+        assert trend.main(["--root", str(tmp_path)]) == 0  # report only
+        assert trend.main(["--root", str(tmp_path), "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "verdict: regression" in out
+
+    def test_out_writes_payload(self, tmp_path):
+        _write(tmp_path, 1, {"campaign": {"median_s": 1.0}})
+        _write(tmp_path, 2, {"campaign": {"median_s": 1.0}})
+        out = tmp_path / "bench_trend.json"
+        assert trend.main(["--root", str(tmp_path), "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.bench/trend/v1"
+        assert payload["verdict"] == "ok"
+
+    @pytest.mark.skipif(
+        not list(REPO_ROOT.glob("BENCH_PR*.json")),
+        reason="no committed bench files",
+    )
+    def test_committed_bench_family_passes_the_gate(self, capsys):
+        assert trend.main(["--root", str(REPO_ROOT), "--check"]) == 0
+        assert "verdict: ok" in capsys.readouterr().out

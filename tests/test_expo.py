@@ -1,0 +1,112 @@
+"""OpenMetrics exposition: grammar, histogram encoding, and purity.
+
+The renderer is a pure function of the snapshots — the tests feed it
+explicit payloads and assert on exact lines, so a format drift that
+would break a Prometheus scrape fails here first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import expo, metrics, timeseries
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    metrics.set_enabled(None)
+    metrics.reset()
+    timeseries.reset()
+    yield
+    metrics.set_enabled(None)
+    metrics.reset()
+    timeseries.reset()
+
+
+class TestSanitizeName:
+    def test_dots_become_underscores(self):
+        assert expo.sanitize_name("tcp.batch.requests") == "tcp_batch_requests"
+
+    def test_leading_digit_gets_prefixed(self):
+        assert expo.sanitize_name("0bad")[0] == "_"
+
+    def test_valid_name_passes_through(self):
+        assert expo.sanitize_name("already_ok:name") == "already_ok:name"
+
+
+class TestRender:
+    def test_counter_and_gauge_lines(self):
+        text = expo.render_openmetrics(
+            metrics_snapshot={"cache.hits": 3, "pool.skew": 1.5},
+            timeseries_snapshot={},
+        )
+        assert "# TYPE cache_hits counter" in text
+        assert "cache_hits_total 3" in text
+        assert "# TYPE pool_skew gauge" in text
+        assert "pool_skew 1.5" in text
+        assert text.endswith("# EOF\n")
+
+    def test_histogram_buckets_are_cumulative_at_powers_of_two(self):
+        hist = metrics.histogram("expo_test.wall_s")
+        for value in (0.5, 1.0, 3.0, 100.0, 0.0):
+            hist.observe(value)
+        text = expo.render_openmetrics(
+            metrics_snapshot={"expo_test.wall_s": hist._snapshot()},
+            timeseries_snapshot={},
+        )
+        # 0.0 lands in the zero bucket (le="0"), then cumulative counts.
+        assert 'expo_test_wall_s_bucket{le="0"} 1' in text
+        assert 'expo_test_wall_s_bucket{le="+Inf"} 5' in text
+        assert "expo_test_wall_s_sum 104.5" in text
+        assert "expo_test_wall_s_count 5" in text
+        assert 'expo_test_wall_s_quantiles{quantile="0.5"}' in text
+        assert 'expo_test_wall_s_quantiles{quantile="0.99"}' in text
+
+    def test_histogram_survives_json_string_bucket_keys(self):
+        # A snapshot that went through JSON has str bucket keys.
+        snap = {"count": 2, "total": 3.0, "min": 1.0, "max": 2.0,
+                "mean": 1.5, "p50": 1.0, "p95": 2.0, "p99": 2.0,
+                "buckets": {"1": 1, "2": 1}}
+        text = expo.render_openmetrics(
+            metrics_snapshot={"h": snap}, timeseries_snapshot={}
+        )
+        assert 'h_bucket{le="2"} 1' in text
+        assert 'h_bucket{le="4"} 2' in text
+
+    def test_timeseries_latest_sample_becomes_ts_gauge(self):
+        text = expo.render_openmetrics(
+            metrics_snapshot={},
+            timeseries_snapshot={
+                "pool.inflight_units": {
+                    "name": "pool.inflight_units",
+                    "capacity": 4,
+                    "samples": [[10.0, 1.0], [11.0, 6.0]],
+                }
+            },
+        )
+        assert "# TYPE ts_pool_inflight_units gauge" in text
+        assert "ts_pool_inflight_units 6 11" in text
+
+    def test_empty_registries_still_emit_eof(self):
+        text = expo.render_openmetrics(metrics_snapshot={}, timeseries_snapshot={})
+        assert text == "# EOF\n"
+
+    def test_render_reads_live_registries_by_default(self):
+        metrics.counter("expo_live.events").inc(2)
+        text = expo.render_openmetrics()
+        assert "expo_live_events_total 2" in text
+
+    def test_render_does_not_mutate_registry(self):
+        hist = metrics.histogram("expo_pure.wall_s")
+        hist.observe(1.0)
+        before = hist._snapshot()
+        expo.render_openmetrics()
+        assert hist._snapshot() == before
+
+
+class TestFormatValue:
+    def test_infinities_and_integral_floats(self):
+        assert expo._format_value(float("inf")) == "+Inf"
+        assert expo._format_value(float("-inf")) == "-Inf"
+        assert expo._format_value(4.0) == "4"
+        assert expo._format_value(0.25) == "0.25"

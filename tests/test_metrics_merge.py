@@ -1,0 +1,192 @@
+"""Cross-process metric merging: the edge cases that corrupt silently.
+
+Pool workers ship ``metrics.snapshot()`` payloads home and the parent
+folds them in with ``merge_snapshot``. The dangerous inputs are the
+quiet ones: a worker that observed nothing (seed-state min=inf /
+max=-inf extrema), bucket keys that became strings in a JSON round
+trip, and merges interleaved with ``reset()``. Histogram merging must
+also stay associative and commutative — merge order depends on worker
+completion order, which is nondeterministic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    metrics.set_enabled(None)
+    metrics.reset()
+    yield
+    metrics.set_enabled(None)
+    metrics.reset()
+
+
+def _fresh(name: str) -> metrics.Histogram:
+    hist = metrics.histogram(name)
+    hist._reset()
+    return hist
+
+
+class TestEmptySnapshotMerge:
+    def test_empty_snapshot_is_a_noop(self):
+        hist = _fresh("merge_test.wall_s")
+        hist.observe(2.0)
+        empty = metrics.Histogram("worker")._snapshot()
+        assert empty["min"] == 0.0 and empty["max"] == 0.0  # seed state masked
+        hist._merge(empty)
+        assert hist.count == 1
+        assert hist.min == 2.0 and hist.max == 2.0
+
+    def test_raw_seed_state_extrema_do_not_poison(self):
+        # A worker could ship the raw seed state (inf/-inf) rather than
+        # the masked snapshot; the merge must not adopt either extreme.
+        hist = _fresh("merge_test.raw_seed")
+        hist.observe(5.0)
+        hist._merge({"count": 0, "total": 0.0,
+                     "min": float("inf"), "max": float("-inf")})
+        assert hist.min == 5.0 and hist.max == 5.0
+        # Even with a positive count, non-finite extrema are ignored.
+        hist._merge({"count": 2, "total": 6.0,
+                     "min": float("inf"), "max": float("-inf"),
+                     "buckets": {2: 2}})
+        assert hist.count == 3
+        assert math.isfinite(hist.min) and math.isfinite(hist.max)
+
+    def test_merge_into_empty_histogram(self):
+        donor = metrics.Histogram("w")
+        donor.observe(1.5)
+        donor.observe(8.0)
+        hist = _fresh("merge_test.into_empty")
+        hist._merge(donor._snapshot())
+        assert hist.count == 2
+        assert hist.min == 1.5 and hist.max == 8.0
+        assert hist.quantile(0.5) == donor.quantile(0.5)
+
+
+class TestTypeConflicts:
+    def test_same_name_different_kind_raises(self):
+        metrics.counter("merge_test.conflict")
+        with pytest.raises(TypeError, match="already registered"):
+            metrics.histogram("merge_test.conflict")
+        with pytest.raises(TypeError, match="already registered"):
+            metrics.gauge("merge_test.conflict")
+
+    def test_merge_snapshot_histogram_onto_counter_raises(self):
+        metrics.counter("merge_test.kindclash")
+        with pytest.raises(TypeError):
+            metrics.merge_snapshot(
+                {"merge_test.kindclash": {"count": 1, "total": 1.0,
+                                          "min": 1.0, "max": 1.0,
+                                          "buckets": {1: 1}}}
+            )
+
+
+class TestBucketMergeAlgebra:
+    # Dyadic-rational values keep bucket boundaries exact.
+    SHARDS = ([0.25, 0.5, 3.0], [1.0, 64.0], [0.0, 0.125, 1024.0, 7.0])
+
+    def _observed(self, values):
+        hist = metrics.Histogram("shard")
+        for value in values:
+            hist.observe(value)
+        return hist._snapshot()
+
+    def _merged(self, order) -> dict:
+        hist = _fresh(f"merge_test.order_{'_'.join(map(str, order))}")
+        for index in order:
+            hist._merge(self._observed(self.SHARDS[index]))
+        return hist._snapshot()
+
+    def test_merge_is_commutative_and_associative(self):
+        reference = self._merged((0, 1, 2))
+        for order in ((2, 1, 0), (1, 0, 2), (0, 2, 1)):
+            assert self._merged(order) == reference
+
+    def test_merge_equals_direct_observation(self):
+        direct = metrics.Histogram("direct")
+        for shard in self.SHARDS:
+            for value in shard:
+                direct.observe(value)
+        merged = self._merged((0, 1, 2))
+        snap = direct._snapshot()
+        assert merged["count"] == snap["count"]
+        assert merged["buckets"] == snap["buckets"]
+        assert merged["min"] == snap["min"] and merged["max"] == snap["max"]
+        assert merged["p50"] == snap["p50"] and merged["p99"] == snap["p99"]
+
+    def test_string_bucket_keys_from_json_round_trip(self):
+        import json
+
+        donor = metrics.Histogram("w")
+        donor.observe(3.0)
+        snap = json.loads(json.dumps(donor._snapshot()))
+        assert all(isinstance(k, str) for k in snap["buckets"])
+        hist = _fresh("merge_test.jsonkeys")
+        hist._merge(snap)
+        hist._merge(snap)
+        assert hist.buckets == {2: 2}  # int keys, not a str/int split
+
+
+class TestMergeAfterReset:
+    def test_registry_merge_after_reset(self):
+        hist = metrics.histogram("merge_test.cycle")
+        hist.observe(10.0)
+        worker_snap = metrics.snapshot()
+        metrics.reset()
+        assert hist.count == 0
+        metrics.merge_snapshot(worker_snap)
+        assert hist.count == 1  # same object, refilled from the snapshot
+        assert hist.min == 10.0
+
+    def test_counters_and_gauges_round_trip_through_merge(self):
+        metrics.counter("merge_test.events").inc(3)
+        metrics.gauge("merge_test.depth").set(2.5)
+        snap = metrics.snapshot()
+        metrics.reset()
+        metrics.merge_snapshot(snap)
+        assert metrics.counter("merge_test.events").value == 3
+        assert metrics.gauge("merge_test.depth").value == 2.5
+
+
+class TestObserveMany:
+    """Bulk observation must be indistinguishable from a scalar loop."""
+
+    def _values(self, n):
+        import random
+
+        rng = random.Random(11)
+        vals = [rng.random() * 0.5 for _ in range(n)]
+        vals += [0.0, 1e-300, 0.5]  # zero bucket + subnormal edge + max
+        return vals
+
+    @pytest.mark.parametrize("n", [4, 200])  # scalar path and numpy path
+    def test_matches_sequential_observe(self, n):
+        values = self._values(n)
+        loop = metrics.Histogram("loop")
+        bulk = metrics.Histogram("bulk")
+        for value in values:
+            loop.observe(value)
+        bulk.observe_many(values)
+        assert bulk._snapshot() == loop._snapshot()
+        assert type(bulk.total) is float  # numpy scalars must not leak out
+
+    def test_empty_block_is_a_no_op(self):
+        hist = metrics.Histogram("empty")
+        hist.observe_many([])
+        assert hist.count == 0
+        assert hist.min == float("inf")
+
+    def test_disabled_records_nothing(self):
+        hist = metrics.Histogram("off")
+        metrics.set_enabled(False)
+        try:
+            hist.observe_many([1.0] * 64)
+        finally:
+            metrics.set_enabled(True)
+        assert hist.count == 0

@@ -167,6 +167,15 @@ class TestSpanTree:
         assert "phase" in text
         assert "s" in text
 
+    def test_render_shows_child_share_of_parent(self):
+        tree = [{"name": "suite", "duration_s": 4.0, "children": [
+            {"name": "exp", "duration_s": 1.0, "children": []},
+        ]}]
+        text = trace.render(tree)
+        lines = text.splitlines()
+        assert "(" not in lines[0]  # roots have no parent to be a share of
+        assert "exp" in lines[1] and "( 25.0%)" in lines[1]
+
     def test_span_shape_identical_across_jobs(self, small_study, monkeypatch):
         # The determinism invariant: the merged span tree's shape (names
         # and nesting, in order) does not depend on --jobs.
@@ -279,6 +288,38 @@ class TestManifest:
         assert payload["pool"]["workers"] == 2
         assert payload["trace"][0]["name"] == "suite"
         assert payload["flow_probes"] == []
+
+    def test_resource_usage_present_even_with_metrics_off(self):
+        metrics.set_enabled(False)
+        payload = self._payload()
+        assert payload["resource"]["peak_rss_bytes"] > 0
+        assert payload["resource"]["ru_utime_s"] >= 0.0
+        assert payload["phases"] == [{"phase": "suite", "wall_s": 1.3}]
+
+    def test_phase_walls_flatten_top_two_levels(self):
+        tree = [{"name": "suite", "duration_s": 3.0, "children": [
+            {"name": "experiment:fig1", "duration_s": 2.0, "children": [
+                {"name": "campaign", "duration_s": 1.9, "children": []},
+            ]},
+        ]}]
+        rows = manifest.phase_walls(tree)
+        assert rows == [
+            {"phase": "suite", "wall_s": 3.0},
+            {"phase": "suite/experiment:fig1", "wall_s": 2.0},
+        ]
+
+    def test_optional_sections_only_when_present(self):
+        bare = self._payload()
+        assert "timeseries" not in bare and "profile" not in bare
+        rich = manifest.build_manifest(
+            ids=["fig1"], jobs=1, seed=7, config_digest="abc",
+            experiments={}, metrics_snapshot={}, pool_stats={},
+            span_tree=[], wall_s=0.1,
+            timeseries_snapshot={"pipeline.tests_per_s": {"samples": [[1.0, 2.0]]}},
+            profile_summary={"hz": 100.0, "samples": 10},
+        )
+        assert rich["timeseries"]["pipeline.tests_per_s"]["samples"]
+        assert rich["profile"]["samples"] == 10
 
     def test_write_creates_missing_directory(self, tmp_path):
         target = tmp_path / "deep" / "obs"

@@ -1,0 +1,105 @@
+"""The live telemetry endpoint: routing, payloads, and the real socket.
+
+``route()`` is a pure request → response-bytes function, so most of the
+coverage needs no socket at all; one test starts a real server on an
+ephemeral port and scrapes it the way Prometheus (or a curl-wielding
+operator) would mid-campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import metrics, serve, timeseries
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    metrics.set_enabled(None)
+    metrics.reset()
+    timeseries.reset()
+    yield
+    metrics.set_enabled(None)
+    metrics.reset()
+    timeseries.reset()
+
+
+def _status(response: bytes) -> str:
+    return response.split(b"\r\n", 1)[0].decode()
+
+
+def _body(response: bytes) -> bytes:
+    return response.split(b"\r\n\r\n", 1)[1]
+
+
+class TestRoute:
+    def test_metrics_route_serves_openmetrics(self):
+        metrics.counter("serve_test.events").inc(5)
+        response = serve.route("GET", "/metrics")
+        assert _status(response) == "HTTP/1.1 200 OK"
+        assert b"application/openmetrics-text" in response
+        body = _body(response)
+        assert b"serve_test_events_total 5" in body
+        assert body.endswith(b"# EOF\n")
+
+    def test_healthz_reports_liveness(self):
+        payload = json.loads(_body(serve.route("GET", "/healthz")))
+        assert payload["status"] == "ok"
+        assert payload["pid"] > 0
+        assert "metrics_enabled" in payload
+
+    def test_snapshot_serves_full_state(self):
+        metrics.counter("serve_test.hits").inc()
+        timeseries.series("serve_test.rate", capacity=4).record(2.0, t=1.0)
+        payload = json.loads(_body(serve.route("GET", "/snapshot")))
+        assert payload["metrics"]["serve_test.hits"] == 1
+        assert payload["timeseries"]["serve_test.rate"]["samples"] == [[1.0, 2.0]]
+        assert "pool" in payload
+
+    def test_unknown_path_is_404_and_lists_routes(self):
+        response = serve.route("GET", "/nope")
+        assert _status(response) == "HTTP/1.1 404 Not Found"
+        assert b"/metrics" in _body(response)
+
+    def test_non_get_is_405(self):
+        assert _status(serve.route("POST", "/metrics")).startswith("HTTP/1.1 405")
+
+    def test_query_string_is_ignored(self):
+        assert _status(serve.route("GET", "/healthz?x=1")) == "HTTP/1.1 200 OK"
+
+
+class TestTelemetryServer:
+    def test_live_scrape_on_ephemeral_port(self):
+        metrics.counter("serve_live.events").inc(7)
+        server = serve.TelemetryServer(port=0).start()
+        try:
+            assert server.port != 0  # real bound port resolved
+            with urllib.request.urlopen(f"{server.url}/metrics", timeout=5) as reply:
+                assert reply.status == 200
+                text = reply.read().decode()
+            assert "serve_live_events_total 7" in text
+            assert text.endswith("# EOF\n")
+            with urllib.request.urlopen(f"{server.url}/healthz", timeout=5) as reply:
+                assert json.loads(reply.read())["status"] == "ok"
+        finally:
+            server.stop()
+
+    def test_server_owns_its_sampler(self):
+        sampler = timeseries.Sampler(interval_s=0.01)
+        sampler.add("serve_live.tick", lambda: 1.0, capacity=8)
+        server = serve.TelemetryServer(port=0, sampler=sampler).start()
+        try:
+            assert sampler.running
+        finally:
+            server.stop()
+        assert not sampler.running
+
+    def test_start_is_idempotent(self):
+        server = serve.TelemetryServer(port=0).start()
+        try:
+            assert server.start() is server
+        finally:
+            server.stop()

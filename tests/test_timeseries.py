@@ -1,0 +1,157 @@
+"""Ring-buffer time series and the cadence sampler.
+
+The invariants that matter: rings are bounded (a week-long campaign
+cannot grow memory), rate probes are None on their first tick (no fake
+zero-rate sample), probe failures never propagate (telemetry cannot
+take a run down), and nothing records unless a sampler ticks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics, timeseries
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    metrics.set_enabled(None)
+    metrics.reset()
+    timeseries.reset()
+    yield
+    metrics.set_enabled(None)
+    metrics.reset()
+    timeseries.reset()
+
+
+class TestRingSeries:
+    def test_bounded_eviction_keeps_newest(self):
+        ring = timeseries.RingSeries("r", capacity=3)
+        for value in range(5):
+            ring.record(float(value), t=float(value))
+        assert len(ring) == 3
+        assert ring.samples() == [(2.0, 2.0), (3.0, 3.0), (4.0, 4.0)]
+        assert ring.last() == (4.0, 4.0)
+
+    def test_partial_fill_oldest_first(self):
+        ring = timeseries.RingSeries("r", capacity=8)
+        ring.record(1.0, t=10.0)
+        ring.record(2.0, t=11.0)
+        assert ring.samples() == [(10.0, 1.0), (11.0, 2.0)]
+
+    def test_empty_ring(self):
+        ring = timeseries.RingSeries("r", capacity=4)
+        assert ring.last() is None
+        assert ring.samples() == []
+        assert len(ring) == 0
+
+    def test_to_dict_round_trips_samples(self):
+        ring = timeseries.RingSeries("rates", capacity=4)
+        ring.record(7.5, t=100.0)
+        payload = ring.to_dict()
+        assert payload["name"] == "rates"
+        assert payload["capacity"] == 4
+        assert payload["samples"] == [[100.0, 7.5]]
+
+    def test_registry_identity_and_snapshot_skips_empty(self):
+        ring = timeseries.series("a.rate", capacity=4)
+        assert timeseries.series("a.rate") is ring
+        timeseries.series("b.rate", capacity=4)  # never recorded
+        ring.record(1.0, t=1.0)
+        snap = timeseries.snapshot()
+        assert "a.rate" in snap
+        assert "b.rate" not in snap
+
+    def test_reset_drops_samples_in_place(self):
+        ring = timeseries.series("c.rate", capacity=4)
+        ring.record(1.0, t=1.0)
+        timeseries.reset()
+        assert timeseries.series("c.rate") is ring
+        assert len(ring) == 0
+
+
+class TestEnvDefaults:
+    def test_interval_default_and_floor(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TS_INTERVAL", raising=False)
+        assert timeseries.default_interval_s() == 1.0
+        monkeypatch.setenv("REPRO_TS_INTERVAL", "0.0001")
+        assert timeseries.default_interval_s() == 0.01
+        monkeypatch.setenv("REPRO_TS_INTERVAL", "junk")
+        assert timeseries.default_interval_s() == 1.0
+
+    def test_capacity_default_and_floor(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TS_CAPACITY", raising=False)
+        assert timeseries.default_capacity() == 512
+        monkeypatch.setenv("REPRO_TS_CAPACITY", "1")
+        assert timeseries.default_capacity() == 2
+        monkeypatch.setenv("REPRO_TS_CAPACITY", "junk")
+        assert timeseries.default_capacity() == 512
+
+
+class TestProbes:
+    def test_counter_rate_first_tick_is_none(self):
+        counter = metrics.counter("ts_test.events")
+        probe = timeseries.counter_rate(counter)
+        assert probe() is None
+        counter.inc(10)
+        rate = probe()
+        assert rate is not None and rate > 0
+
+    def test_ratio_none_without_traffic(self):
+        hits = metrics.counter("ts_test.hits")
+        misses = metrics.counter("ts_test.misses")
+        probe = timeseries.ratio(hits, misses)
+        assert probe() is None
+        hits.inc(3)
+        misses.inc(1)
+        assert probe() == pytest.approx(0.75)
+
+    def test_rss_probe_returns_positive_bytes(self):
+        rss = timeseries.rss_bytes()
+        assert rss is not None and rss > 0
+
+
+class TestSampler:
+    def test_tick_records_non_none_samples(self):
+        sampler = timeseries.Sampler(interval_s=60.0)
+        ring = sampler.add("s.value", lambda: 42.0, capacity=4)
+        sampler.add("s.skipped", lambda: None, capacity=4)
+        sampler.tick(t=5.0)
+        assert ring.samples() == [(5.0, 42.0)]
+        assert len(timeseries.series("s.skipped")) == 0
+        assert sampler.ticks == 1
+
+    def test_probe_exception_is_dropped_not_raised(self):
+        sampler = timeseries.Sampler(interval_s=60.0)
+        ring = sampler.add("s.ok", lambda: 1.0, capacity=4)
+
+        def boom():
+            raise RuntimeError("probe exploded")
+
+        sampler.add("s.bad", boom, capacity=4)
+        sampler.tick(t=1.0)  # must not raise
+        assert len(ring) == 1
+
+    def test_start_stop_lifecycle(self):
+        sampler = timeseries.Sampler(interval_s=0.01)
+        sampler.add("s.live", lambda: 1.0, capacity=8)
+        sampler.start()
+        assert sampler.running
+        assert sampler.start() is sampler  # idempotent
+        sampler.stop()
+        assert not sampler.running
+
+    def test_default_sampler_covers_pipeline_phases(self):
+        sampler = timeseries.default_sampler(interval_s=60.0)
+        # Warm the rate probes, generate traffic, tick again.
+        sampler.tick(t=1.0)
+        metrics.counter("tcp.flows_simulated").inc(100)
+        metrics.counter("trace.batch.requests").inc(10)
+        metrics.gauge("parallel.inflight_units").set(4)
+        sampler.tick(t=2.0)
+        snap = timeseries.snapshot()
+        assert "pipeline.tests_per_s" in snap
+        assert "pipeline.traces_per_s" in snap
+        assert "pool.inflight_units" in snap
+        assert "proc.rss_bytes" in snap
+        assert snap["pool.inflight_units"]["samples"][-1][1] == 4.0
