@@ -65,11 +65,14 @@ bench-scaling:
 
 # Table-first worldgen suite: object-graph-first vs snapshot-hit cold
 # starts at scale=1.0, the fresh-interpreter cold-load budget, and the
-# serial-coverage regression check. Writes BENCH_PR6.json and fails on
-# the gates. SMOKE=1 trims repeats and skips the PR5-relative
-# regression gate (calibrated on a specific box).
+# serial-coverage regression check (BENCH_PR6.json) — then the
+# array-native suite: fresh generation speed and net-RSS vs the object
+# path, byte identity, and the scale=4.0 memory gate (BENCH_PR8.json).
+# Fails on either suite's gates. SMOKE=1 trims repeats and skips the
+# PR5-relative regression gate (calibrated on a specific box).
 bench-worldgen:
 	$(PYTHON) benchmarks/run_bench.py --pr6-only $(if $(SMOKE),--smoke)
+	$(PYTHON) benchmarks/run_bench.py --pr8-only $(if $(SMOKE),--smoke)
 
 # Full-telemetry overhead suite: campaign with metrics + sampler +
 # /metrics endpoint + sampling profiler on vs everything off, gated at

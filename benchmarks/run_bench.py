@@ -48,6 +48,22 @@ object-graph path, subprocess cold load ≤100 ms, both builders
 byte-identical, coverage serial within 10 % of the PR5 median
 (regression gate skipped in ``--smoke``).
 
+The array-native worldgen suite (``BENCH_PR8.json``) measures what
+retiring the object graph from the generation hot path buys. Fresh
+interpreters (``REPRO_CACHE=0``) build the scale=1.0 world two ways —
+array-native (the recorder is the only product) and the PR6-equivalent
+object path (generation plus eager ``materialize()``, what the
+table-first flip used to keep resident) — and report generation wall
+clock plus the peak RSS *net of the import floor*, measured in the
+same process before generation so the ~30 MB interpreter+numpy baseline
+cannot dilute the ratio; ``compile_world`` runs outside the clock but
+inside the RSS window, identically on both sides. Gates: fresh generation ≥1.5x faster and
+≤0.5x the net peak RSS of the object path, both builders byte-identical
+(``REPRO_TABLE_FIRST=0`` cross-check), and the scale=4.0 world must
+generate within 0.5x of its object-path RSS and an absolute 256 MB
+net ceiling. The in-process section re-times the table-first build so
+the bench trend has a PR6-comparable metric.
+
 The telemetry suite (``BENCH_PR7.json``) measures what the *full* live
 telemetry stack costs: the benchmark campaign replayed with everything
 on — metrics registry, cadence sampler, the ``/metrics`` HTTP endpoint,
@@ -70,6 +86,7 @@ Run via ``make bench`` or::
     PYTHONPATH=src python benchmarks/run_bench.py --pr6-only   # just the worldgen suite
     PYTHONPATH=src python benchmarks/run_bench.py --pr6-only --smoke  # CI smoke shape
     PYTHONPATH=src python benchmarks/run_bench.py --telemetry-only    # just the PR7 suite
+    PYTHONPATH=src python benchmarks/run_bench.py --pr8-only   # array-native worldgen
 """
 
 from __future__ import annotations
@@ -192,6 +209,28 @@ PR6_GATES = {
 #: BENCH_PR5's coverage_bench_serial median on this machine, used when
 #: the file is absent (fresh clone).
 PR5_COVERAGE_SERIAL_MEDIAN_S = 0.848
+
+
+PR8_OUTPUT = REPO_ROOT / "BENCH_PR8.json"
+
+#: Gates for the array-native worldgen suite. The RSS comparisons are
+#: *net of the import floor* (``ru_maxrss`` sampled post-import,
+#: pre-generation, in the same process): the ~30 MB interpreter+numpy
+#: baseline is identical on both sides and would otherwise dilute a
+#: 3x heap reduction down to a fraction that reads like noise.
+PR8_GATES = {
+    # Fresh array-native generate+compile vs the PR6-equivalent object
+    # path (generation + eager materialize()) at scale=1.0.
+    "fresh_speedup": 1.5,
+    # Net peak RSS of the array-native path vs the object path.
+    "fresh_rss_ratio": 0.5,
+    # Scale=4.0 world: net RSS vs its own object path, and absolute.
+    "scale4_rss_ratio": 0.5,
+    "scale4_rss_max_mb": 256.0,
+}
+
+#: The large-world config the RSS ceiling is gated at.
+PR8_SCALE4 = 4.0
 
 
 PR7_OUTPUT = REPO_ROOT / "BENCH_PR7.json"
@@ -1153,6 +1192,266 @@ def run_pr7_suite(smoke: bool = False) -> int:
     return 0
 
 
+def bench_worldgen_rss_probe(mode: str, scale: float) -> dict[str, object]:
+    """One world build in a fresh interpreter, RSS net of imports.
+
+    The clock covers generation (plus ``materialize()`` for the object
+    path) — the thing this PR made array-native. ``compile_world`` runs
+    after the clock stops but before the RSS sample, identically on
+    both sides, so the digest is checked and the compiled arrays count
+    toward both peaks equally.
+
+    The high-water mark must be sampled twice in the same process —
+    after imports, then after generation — and differenced: the import
+    floor is what generation itself never pays. ``VmHWM`` from
+    ``/proc/self/status`` is the right counter because it lives on the
+    memory map and execve replaces the map; ``ru_maxrss`` survives
+    fork+exec, so a child of a fat benchmark driver would inherit the
+    driver's watermark and read a floor above its own peak (observed:
+    an 81 MB "floor" in a process that never used more than 45).
+    Falls back to ``ru_maxrss`` off Linux. ``mode`` is
+    ``array_native`` (generation's only product is the recorder; facades
+    stay unmaterialized) or ``object_path`` (eager ``materialize()``
+    right after generation — the PR6-equivalent shape where the object
+    graph and the tables are both resident). The cache is off so the
+    clock measures generation, never a snapshot hit.
+    """
+    assert mode in ("array_native", "object_path"), mode
+    materialize = "internet.materialize()\n" if mode == "object_path" else ""
+    script = (
+        "import json, resource, time\n"
+        "def rss_mb():\n"
+        "    try:\n"
+        "        with open('/proc/self/status') as status:\n"
+        "            for line in status:\n"
+        "                if line.startswith('VmHWM:'):\n"
+        "                    return int(line.split()[1]) / 1024.0\n"
+        "    except OSError:\n"
+        "        pass\n"
+        "    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0\n"
+        "from repro.topology.generator import InternetConfig, generate_internet\n"
+        "from repro.net.compiled import compile_world\n"
+        "import_rss = rss_mb()\n"
+        f"config = InternetConfig(seed=7, scale={scale!r})\n"
+        "start = time.perf_counter()\n"
+        "internet = generate_internet(config)\n"
+        f"{materialize}"
+        "wall = time.perf_counter() - start\n"
+        "world = compile_world(internet)\n"
+        "peak = rss_mb()\n"
+        "print(json.dumps({'wall_s': round(wall, 3),"
+        " 'import_rss_mb': round(import_rss, 1),"
+        " 'peak_rss_mb': round(peak, 1),"
+        " 'net_rss_mb': round(peak - import_rss, 1),"
+        " 'digest': world.digest}))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_CACHE"] = "0"
+    env.pop("REPRO_TABLE_FIRST", None)
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        check=True, capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+def _probe_series(mode: str, scale: float, repeats: int) -> dict[str, object]:
+    """Repeat the fresh-interpreter probe; medians over wall and net RSS."""
+    probes = [bench_worldgen_rss_probe(mode, scale) for _ in range(repeats)]
+    digests = {p["digest"] for p in probes}
+    assert len(digests) == 1, f"unstable digest across probes: {digests}"
+    return {
+        "runs_s": [p["wall_s"] for p in probes],
+        "median_s": round(statistics.median(p["wall_s"] for p in probes), 3),
+        "net_rss_runs_mb": [p["net_rss_mb"] for p in probes],
+        "net_rss_median_mb": round(
+            statistics.median(p["net_rss_mb"] for p in probes), 1
+        ),
+        "import_floor_mb": probes[0]["import_rss_mb"],
+        "peak_rss_runs_mb": [p["peak_rss_mb"] for p in probes],
+        "digest": probes[0]["digest"],
+    }
+
+
+def bench_array_native_build(smoke: bool = False) -> dict[str, object]:
+    """In-process scale=1.0 builds: byte identity + a PR6-comparable median.
+
+    ``REPRO_TABLE_FIRST=0`` now means "generate array-native, then
+    eagerly materialize the facades and compile by walking the objects"
+    — an independent cross-check of the recorder's arrays. Its world
+    must hash identically to the array-native compile. The table-first
+    build runs are recorded under the same key BENCH_PR6 used
+    (``table_first_build_median_s``) so ``repro.bench.trend`` scores
+    this PR against the pre-array-native build cost.
+    """
+    repeats = 2 if smoke else 3
+    config = PR6_WORLD_CONFIG
+
+    object_runs: list[float] = []
+    os.environ["REPRO_TABLE_FIRST"] = "0"
+    try:
+        for _ in range(repeats):
+            clear_compile_cache()
+            start = time.perf_counter()
+            world = compile_world(generate_internet(config))
+            object_runs.append(round(time.perf_counter() - start, 3))
+        object_sha = _world_sha(world)
+    finally:
+        os.environ.pop("REPRO_TABLE_FIRST", None)
+
+    table_runs: list[float] = []
+    path = None
+    for _ in range(repeats):
+        clear_compile_cache()
+        if path is not None and path.exists():
+            path.unlink()
+        start = time.perf_counter()
+        world = compile_world(generate_internet(config))
+        table_runs.append(round(time.perf_counter() - start, 3))
+        path = snapshot_path(world.digest)
+    table_sha = _world_sha(world)
+
+    return {
+        "world_config": repr(config),
+        "object_path_runs_s": object_runs,
+        "object_path_median_s": round(statistics.median(object_runs), 3),
+        "table_first_build_runs_s": table_runs,
+        "table_first_build_median_s": round(statistics.median(table_runs), 3),
+        "object_path_sha256": object_sha,
+        "array_native_sha256": table_sha,
+        "byte_identical": object_sha == table_sha,
+    }
+
+
+def run_pr8_suite(smoke: bool = False) -> int:
+    """Array-native worldgen benchmarks: write BENCH_PR8.json, gate.
+
+    The byte-identity section runs against a private enabled cache in a
+    temp dir (the array-native build persists its snapshot; never into
+    the developer's real cache). The RSS probes run in fresh
+    interpreters with the cache off, so every run pays full generation
+    and ``ru_maxrss`` means this world, not a previous one.
+    """
+    suite_start = time.perf_counter()
+    results: dict[str, dict] = {}
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-arraygen-") as cache_dir:
+        previous_dir = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        artifact_cache.set_enabled(True)
+        try:
+            build = bench_array_native_build(smoke=smoke)
+        finally:
+            artifact_cache.set_enabled(None)
+            clear_compile_cache()
+            if previous_dir is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous_dir
+    results["worldgen_bench"] = build
+    print(
+        f"worldgen_bench: array-native build {build['table_first_build_median_s']}s, "
+        f"object-path cross-check {build['object_path_median_s']}s "
+        f"(byte_identical={build['byte_identical']})"
+    )
+
+    repeats = 2 if smoke else 3
+    fresh = _probe_series("array_native", scale=1.0, repeats=repeats)
+    results["worldgen_fresh"] = fresh
+    print(
+        f"worldgen_fresh: median {fresh['median_s']}s, net RSS "
+        f"{fresh['net_rss_median_mb']}MB (import floor {fresh['import_floor_mb']}MB)"
+    )
+    object_path = _probe_series("object_path", scale=1.0, repeats=repeats)
+    results["worldgen_object_path"] = object_path
+    print(
+        f"worldgen_object_path: median {object_path['median_s']}s, net RSS "
+        f"{object_path['net_rss_median_mb']}MB"
+    )
+
+    scale4_fresh = _probe_series("array_native", scale=PR8_SCALE4, repeats=1)
+    scale4_object = _probe_series("object_path", scale=PR8_SCALE4, repeats=1)
+    results["worldgen_scale4_fresh"] = scale4_fresh
+    results["worldgen_scale4_object_path"] = scale4_object
+    print(
+        f"worldgen_scale4: fresh {scale4_fresh['median_s']}s / "
+        f"{scale4_fresh['net_rss_median_mb']}MB net, object path "
+        f"{scale4_object['median_s']}s / {scale4_object['net_rss_median_mb']}MB net"
+    )
+
+    speedup = round(object_path["median_s"] / fresh["median_s"], 2)
+    rss_ratio = round(
+        fresh["net_rss_median_mb"] / object_path["net_rss_median_mb"], 3
+    )
+    scale4_ratio = round(
+        scale4_fresh["net_rss_median_mb"] / scale4_object["net_rss_median_mb"], 3
+    )
+    gates = {
+        "worldgen_fresh_vs_object_path": {
+            "required_speedup": PR8_GATES["fresh_speedup"],
+            "measured_speedup": speedup,
+            "enforced": True,
+            "passed": speedup >= PR8_GATES["fresh_speedup"],
+        },
+        "worldgen_rss_vs_object_path": {
+            "required_max_ratio": PR8_GATES["fresh_rss_ratio"],
+            "measured_ratio": rss_ratio,
+            "fresh_net_rss_mb": fresh["net_rss_median_mb"],
+            "object_path_net_rss_mb": object_path["net_rss_median_mb"],
+            "enforced": True,
+            "passed": rss_ratio <= PR8_GATES["fresh_rss_ratio"],
+        },
+        "array_native_byte_identity": {
+            "required": "REPRO_TABLE_FIRST=0 object walk hashes equal to the "
+                        "array-native compile",
+            "measured": build["byte_identical"],
+            "enforced": True,
+            "passed": bool(build["byte_identical"]),
+        },
+        "scale4_rss_bound": {
+            "required": f"net RSS <= {PR8_GATES['scale4_rss_ratio']}x object "
+                        f"path and <= {PR8_GATES['scale4_rss_max_mb']}MB",
+            "measured_ratio": scale4_ratio,
+            "measured_net_rss_mb": scale4_fresh["net_rss_median_mb"],
+            "enforced": True,
+            "passed": (
+                scale4_ratio <= PR8_GATES["scale4_rss_ratio"]
+                and scale4_fresh["net_rss_median_mb"]
+                <= PR8_GATES["scale4_rss_max_mb"]
+            ),
+        },
+    }
+
+    report = {
+        "machine": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+        "smoke": smoke,
+        "world_config": repr(PR6_WORLD_CONFIG),
+        "scale4": PR8_SCALE4,
+        "benchmarks": results,
+        "gates": gates,
+        "suite_wall_s": round(time.perf_counter() - suite_start, 3),
+    }
+    PR8_OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {PR8_OUTPUT}")
+    for name, gate in gates.items():
+        state = "pass" if gate["passed"] else "FAIL"
+        state += "" if gate["enforced"] else " (not enforced)"
+        print(f"  {name}: [{state}]")
+    failed = [n for n, g in gates.items() if g["enforced"] and not g["passed"]]
+    if failed:
+        print(
+            f"FAIL: array-native worldgen gate(s) not met: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def run_obs_gate() -> int:
     """Measure observability overhead, write BENCH_PR2.json, gate at 3 %."""
     artifact_cache.set_enabled(False)
@@ -1194,6 +1493,8 @@ def main() -> int:
         return run_pr6_suite(smoke=smoke)
     if "--telemetry-only" in sys.argv[1:]:
         return run_pr7_suite(smoke=smoke)
+    if "--pr8-only" in sys.argv[1:]:
+        return run_pr8_suite(smoke=smoke)
     artifact_cache.set_enabled(False)
     results: dict[str, dict] = {}
 
@@ -1252,6 +1553,7 @@ def main() -> int:
         or run_pr5_suite(smoke=smoke)
         or run_pr6_suite(smoke=smoke)
         or run_pr7_suite(smoke=smoke)
+        or run_pr8_suite(smoke=smoke)
     )
 
 

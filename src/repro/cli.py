@@ -70,6 +70,17 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--validate", action="store_true",
                              help="run fast world contracts while building the study")
 
+    world_stats = sub.add_parser(
+        "world-stats",
+        help="per-table row counts/bytes and generation telemetry for a world",
+    )
+    world_stats.add_argument("--scale", type=float, default=1.0,
+                             help="stub-population scale of the world")
+    world_stats.add_argument("--epoch", choices=("2015", "2017"), default="2015")
+    world_stats.add_argument("--fresh", action="store_true",
+                             help="force a fresh generation (reports phase "
+                                  "timings) instead of the snapshot fast path")
+
     report = sub.add_parser("report", help="write a markdown reproduction report")
     report.add_argument("path")
     report.add_argument("ids", nargs="+")
@@ -126,6 +137,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.log_json:
             forwarded.append("--log-json")
         return experiments_main(forwarded)
+    if args.command == "world-stats":
+        return _cmd_world_stats(args)
     if args.command == "report":
         from repro.reporting.__main__ import main as report_main
 
@@ -176,6 +189,56 @@ def _cmd_generate(args) -> int:
         f"wrote {prefix_count} prefixes, {edge_count} relationships, "
         f"{org_count} orgs, {len(internet.ixps)} IXP prefixes to {args.out_dir}"
     )
+    return 0
+
+
+def _cmd_world_stats(args) -> int:
+    """Table sizes + generation telemetry without building a study.
+
+    Default path resolves the config through the compiled-snapshot cache
+    (milliseconds on a warm cache, memory-mapped, no generator run);
+    ``--fresh`` generates instead, which is what populates the per-phase
+    timing section.
+    """
+    import resource
+
+    from repro.net.compiled import CompiledWorld, compile_world, compiled_world_for
+    from repro.topology.generator import (
+        InternetConfig,
+        generate_internet,
+        last_generation_stats,
+    )
+
+    config = InternetConfig(seed=args.seed, scale=args.scale, epoch=args.epoch)
+    if args.fresh:
+        world = compile_world(generate_internet(config))
+    else:
+        world = compiled_world_for(config)
+
+    print(f"world: {world.digest}")
+    print(f"\n{'table':<18s} {'rows':>10s} {'bytes':>14s}  dtype")
+    total_bytes = 0
+    for name in CompiledWorld._ARRAY_FIELDS:
+        arr = getattr(world, name)
+        total_bytes += arr.nbytes
+        rows = arr.shape[0]
+        shape = "x".join(str(d) for d in arr.shape)
+        print(f"{name:<18s} {rows:>10,d} {arr.nbytes:>14,d}  {arr.dtype} ({shape})")
+    print(f"{'total':<18s} {'':>10s} {total_bytes:>14,d}")
+
+    stats = last_generation_stats()
+    if stats is not None:
+        print(f"\n{'phase':<12s} {'wall_s':>9s} {'cpu_s':>9s}")
+        for name, timing in stats["phases"].items():
+            print(f"{name:<12s} {timing['wall_s']:>9.3f} {timing['cpu_s']:>9.3f}")
+        print(f"{'total':<12s} {stats['total_wall_s']:>9.3f} "
+              f"{stats['total_cpu_s']:>9.3f}")
+        print(f"\nworldgen.peak_rss_mb: {stats['peak_rss_mb']:.1f}")
+    else:
+        rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        print("\ngeneration: snapshot fast path (no generator run; "
+              "use --fresh to time the phases)")
+        print(f"process peak_rss_mb: {rss_mb:.1f}")
     return 0
 
 

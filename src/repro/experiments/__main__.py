@@ -72,6 +72,30 @@ def _run_experiment(experiment_id: str) -> ExperimentResult:
         return EXPERIMENTS[experiment_id]()
 
 
+def _worldgen_stats() -> dict[str, object] | None:
+    """Generation telemetry for the manifest's ``worldgen`` section.
+
+    Present only when this process actually generated a world (a
+    snapshot-cache hit never runs the generator, so there is nothing to
+    report and the section is omitted).
+    """
+    from repro.topology.generator import last_generation_stats
+
+    stats = last_generation_stats()
+    if stats is None:
+        return None
+    return {
+        "peak_rss_mb": round(stats["peak_rss_mb"], 1),
+        "total_wall_s": round(stats["total_wall_s"], 3),
+        "total_cpu_s": round(stats["total_cpu_s"], 3),
+        "phases": {
+            name: {"wall_s": round(t["wall_s"], 4), "cpu_s": round(t["cpu_s"], 4)}
+            for name, t in stats["phases"].items()
+        },
+        "counts": stats["counts"],
+    }
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -276,6 +300,7 @@ def main(argv: list[str]) -> int:
         flow_probes=probe_series,
         timeseries_snapshot=timeseries_snapshot,
         profile_summary=profile_summary,
+        worldgen=_worldgen_stats(),
     )
     manifest_path = manifest.write_manifest(payload, args.obs_dir)
     _log.info("wrote %s", manifest_path)

@@ -1,8 +1,8 @@
 """Compiled read-only world snapshots: structure-of-arrays for the hot sweeps.
 
-The object graph (:class:`~repro.topology.internet.Internet`) is the
-right representation for construction and for correctness-first code, but
-the §5 coverage sweep hammers a handful of queries millions of times:
+The object graph hanging off :class:`~repro.topology.internet.Internet`
+is the right representation for correctness-first code, but the §5
+coverage sweep hammers a handful of queries millions of times:
 longest-prefix-match origin lookups, AS-adjacency/relationship tests, and
 router-fabric interface walks. :class:`CompiledWorld` flattens exactly
 those into numpy arrays once per world and answers them with
@@ -24,12 +24,15 @@ Three invariants the rest of the PR leans on:
   :class:`SharedWorldHandle` lets spawn-started workers attach the same
   pages instead of unpickling a copy of the world.
 
-Since PR 6 worlds are *table-first*: the generator emits these arrays
-directly (:mod:`repro.topology.tables`), :func:`compile_world` merely
-wraps them, and the object-graph walk in
-:func:`compile_from_object_graph` survives as the escape hatch
-(``REPRO_TABLE_FIRST=0``) and as the cross-check the validate contract
-runs. Compiled worlds also persist as versioned memory-mapped ``.npz``
+Since PR 6 worlds are *table-first* and since PR 8 generation is
+*array-native*: the generator streams straight into the recorder's
+numpy builders (:mod:`repro.topology.tables`), the object graph is a
+lazy facade nothing on the generate→compile→persist path ever
+materializes, and :func:`compile_world` merely wraps the recorded
+arrays. The object-graph walk in :func:`compile_from_object_graph`
+survives as the cross-check path (``REPRO_TABLE_FIRST=0`` — facades
+materialize eagerly and the walk derives identical arrays) and as what
+the validate contract runs. Compiled worlds also persist as versioned memory-mapped ``.npz``
 snapshots in the artifact cache (:mod:`repro.net.snapshot`), keyed by
 world digest: a world builds once, cold-loads in milliseconds via
 ``mmap``, and pool workers attach the same resident pages through a

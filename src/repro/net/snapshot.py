@@ -17,6 +17,11 @@ The format is versioned: a ``__meta__`` member records
 version mismatch (or any structural surprise) is reported through
 ``repro.obs`` and surfaces as a load miss — callers rebuild from the
 generator and overwrite, never crash and never serve wrong tables.
+
+Persistence consumes only the recorder's arrays: since PR 8 the
+generate → persist path never materializes the object facade, so a
+cold cache miss costs array-native generation (tables-sized RSS), and
+every later process maps this file instead.
 """
 
 from __future__ import annotations

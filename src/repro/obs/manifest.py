@@ -82,6 +82,7 @@ def build_manifest(
     flow_probes: list[dict[str, object]] | None = None,
     timeseries_snapshot: dict[str, object] | None = None,
     profile_summary: dict[str, object] | None = None,
+    worldgen: dict[str, object] | None = None,
 ) -> dict[str, object]:
     """Assemble the manifest payload (pure; callers decide where it goes)."""
     cache = {
@@ -111,6 +112,12 @@ def build_manifest(
         manifest["timeseries"] = timeseries_snapshot
     if profile_summary:
         manifest["profile"] = profile_summary
+    if worldgen:
+        # Array-native generation telemetry (PR 8): per-phase wall/CPU,
+        # worldgen.peak_rss_mb, and the headline table counts — recorded
+        # only when this run actually generated a world (a snapshot-cache
+        # hit leaves the section out).
+        manifest["worldgen"] = worldgen
     return manifest
 
 

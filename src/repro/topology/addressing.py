@@ -11,6 +11,16 @@ Two pieces live here:
 * :class:`PrefixTable` is a binary-trie longest-prefix matcher mapping an
   address to its originating AS — the synthetic equivalent of CAIDA's
   BGP-derived prefix-to-AS dataset that both MAP-IT and bdrmap consume.
+
+Since PR 8 neither is on the generation hot path: the builder records
+``(base, length, asn, kind)`` rows into the world tables and the
+allocator/table objects here are part of the lazy facade,
+reconstructed from those rows by
+:meth:`repro.topology.tables.WorldTableRecorder.materialize_addressing`
+only when a consumer asks (validation, exports, scalar fallbacks). The
+compiled LPM interval table is flattened array-side by
+:func:`repro.topology.tables.flatten_prefix_spans`, which reproduces
+this trie's longest-match semantics bit for bit.
 """
 
 from __future__ import annotations

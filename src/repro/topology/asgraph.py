@@ -65,13 +65,9 @@ class ASGraph:
     Both directions are stored, inverse-consistent by construction.
     """
 
-    def __init__(self, recorder=None) -> None:
+    def __init__(self) -> None:
         self._ases: dict[int, AS] = {}
         self._neighbors: dict[int, dict[int, Relationship]] = {}
-        #: Optional WorldTableRecorder fed as the graph is built, so the
-        #: compiled SoA tables are emitted with generation instead of
-        #: being derived from the object graph afterwards.
-        self._recorder = recorder
 
     def __len__(self) -> int:
         return len(self._ases)
@@ -87,8 +83,6 @@ class ASGraph:
             raise ValueError(f"duplicate ASN {autonomous_system.asn}")
         self._ases[autonomous_system.asn] = autonomous_system
         self._neighbors[autonomous_system.asn] = {}
-        if self._recorder is not None:
-            self._recorder.record_as(autonomous_system.asn)
 
     def get(self, asn: int) -> AS:
         try:
@@ -115,8 +109,6 @@ class ASGraph:
             )
         self._neighbors[a][b] = rel_of_a
         self._neighbors[b][a] = rel_of_a.inverse()
-        if self._recorder is not None:
-            self._recorder.record_edge(a, b, rel_of_a)
 
     def relationship(self, a: int, b: int) -> Relationship | None:
         """Relationship of ``b`` from ``a``'s point of view, or None."""

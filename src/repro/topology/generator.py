@@ -19,28 +19,45 @@ Builds the complete ground-truth world the paper's analyses run against:
 
 Everything is derived from ``InternetConfig.seed`` through labelled RNG
 streams, so a given config always produces byte-identical topology.
+
+Since PR 8 generation is *array-native*: the builder keeps only flat
+scaffold state (relationship dicts keyed by ASN ints, per-(AS, city)
+router counters, allocator cursors) and streams every accepted decision
+into a :class:`~repro.topology.tables.WorldTableRecorder`, whose
+capacity-doubling numpy builders are the world's primary storage. No
+``AS``/``Router``/``Interconnect`` object is constructed during the
+build — peak RSS scales with the final tables. The classic object graph
+materializes lazily from the recorder (see
+:class:`~repro.topology.internet.Internet`), byte-identical to what the
+pre-PR-8 eager build produced, because the scaffold replicates every
+decision input (relationship lookups, per-city router indices, link
+counts) the objects used to provide and the RNG draw sequence is
+untouched.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import resource
+import time
+from dataclasses import dataclass
 
-from repro.topology.addressing import Prefix, PrefixAllocator, PrefixTable
-from repro.topology.asgraph import AS, ASGraph, ASRole, Relationship
-from repro.topology.dns import ReverseDNS, border_interface_name, domain_of
-from repro.topology.geo import CITIES, City, geo_distance_km
+from repro.obs import metrics
+from repro.topology.addressing import PrefixAllocator
+from repro.topology.asgraph import ASRole, Relationship
+from repro.topology.dns import ReverseDNS, border_interface_name
+from repro.topology.geo import CITIES
 from repro.topology.internet import Internet
 from repro.topology.isp_data import BROADBAND_PROVIDERS_Q3_2015
 from repro.topology.ixp import IXP, IXPRegistry
 from repro.topology.orgs import Organization, OrgMap
-from repro.topology.routers import (
-    Interconnect,
-    InterconnectKind,
-    Router,
-    RouterFabric,
-    RouterRole,
+from repro.topology.routers import InterconnectKind, RouterRole
+from repro.topology.tables import (
+    PREFIX_CLIENT,
+    PREFIX_INFRA,
+    PREFIX_IXP,
+    WorldTableRecorder,
+    table_first_enabled,
 )
-from repro.topology.tables import WorldTableRecorder, table_first_enabled
 from repro.util.ip import parse_ip
 from repro.util.rng import derive_random
 
@@ -204,6 +221,15 @@ _DEFAULT_HOTSPOTS: dict[tuple[str, str], tuple[tuple[str, int], ...]] = {
     ),
 }
 
+#: Generation stats of the most recent ``generate_internet`` call in this
+#: process, for ``repro world-stats`` and the run manifest.
+_LAST_STATS: dict | None = None
+
+
+def last_generation_stats() -> dict | None:
+    """Per-phase timings and peak RSS of the most recent generation."""
+    return _LAST_STATS
+
 
 @dataclass(frozen=True)
 class InternetConfig:
@@ -243,32 +269,50 @@ def generate_internet(config: InternetConfig | None = None) -> Internet:
     return builder.build()
 
 
+def _peak_rss_mb() -> float:
+    """Process high-water RSS in MB (ru_maxrss is KB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
 class _Builder:
-    """Single-use construction context for one Internet instance."""
+    """Single-use construction context for one Internet instance.
+
+    All generation-time state is flat scaffold data — dicts keyed by ASN
+    or (ASN, city) and integer counters — plus the recorder that every
+    accepted decision streams into. Recording never touches the RNG, so
+    worlds are byte-identical to the retired object-graph builder.
+    """
 
     def __init__(self, config: InternetConfig) -> None:
         self.config = config
         self.rng = derive_random(config.seed, "topology")
-        # Table-first worlds: the graph and fabric stream every accepted
-        # object into the recorder, and build() finalizes the compiled
-        # SoA tables alongside the object graph — no derivation pass.
-        # Recording never touches the RNG, so worlds are byte-identical
-        # with the recorder on or off (REPRO_TABLE_FIRST=0).
-        self.recorder = WorldTableRecorder() if table_first_enabled() else None
-        self.graph = ASGraph(recorder=self.recorder)
+        # The recorder is the world: compiled tables come straight out of
+        # it, and the object graph replays out of it on demand.
+        self.recorder = WorldTableRecorder()
         self.orgs = OrgMap()
-        self.fabric = RouterFabric(recorder=self.recorder)
         self.ixps = IXPRegistry()
         self.rdns = ReverseDNS()
-        self.prefix_table = PrefixTable()
-        self.client_prefixes: dict[int, list[Prefix]] = {}
-        self.infra_prefixes: dict[int, list[Prefix]] = {}
         # Separate pools keep client, infra, and IXP space disjoint.
         self._client_pool = PrefixAllocator(parse_ip("1.0.0.0"), 3)
         self._infra_pool = PrefixAllocator(parse_ip("96.0.0.0"), 3)
         self._ixp_pool = PrefixAllocator(parse_ip("184.0.0.0"), 6)
-        self._infra_cursor: dict[int, int] = {}
+        # AS scaffold: what used to live on AS objects in the graph.
+        self._as_name: dict[int, str] = {}
+        self._as_role: dict[int, ASRole] = {}
+        self._as_cities: dict[int, tuple[str, ...]] = {}
+        self._as_weight: dict[int, float] = {}
+        self._rel: dict[int, dict[int, Relationship]] = {}
+        self._stub_asns: list[int] = []  # creation order (= old graph order)
+        # Fabric scaffold: per-(AS, city) router bookkeeping + id counters.
+        self._core_cities: set[tuple[int, str]] = set()
         self._border_count: dict[tuple[int, str], int] = {}
+        self._pair_links: dict[tuple[int, int], int] = {}
+        self._next_router_id = 1
+        self._next_link_id = 1
+        self._next_group_id = 1
+        # Addressing scaffold: infra allocation window + cursor per AS.
+        self._infra_span: dict[int, tuple[int, int]] = {}
+        self._infra_cursor: dict[int, int] = {}
         self._city_weights = [c.population_weight for c in CITIES]
         self._tier1_asns: list[int] = []
         self._transit_asns: list[int] = []
@@ -279,31 +323,101 @@ class _Builder:
     # top level
 
     def build(self) -> Internet:
-        self._make_ixps()
-        self._make_tier1s()
-        self._make_transits()
-        self._make_content()
-        self._make_access_isps()
-        self._make_stubs()
+        global _LAST_STATS
+        phases: list[tuple[str, object]] = [
+            ("ixps", self._make_ixps),
+            ("tier1s", self._make_tier1s),
+            ("transits", self._make_transits),
+            ("content", self._make_content),
+            ("access", self._make_access_isps),
+            ("stubs", self._make_stubs),
+        ]
         if self.config.epoch == "2017":
-            self._grow_for_2017()
+            phases.append(("epoch2017", self._grow_for_2017))
+
+        phase_stats: dict[str, dict[str, float]] = {}
+        total_wall0 = time.perf_counter()
+        total_cpu0 = time.process_time()
+        for name, fn in phases:
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+            fn()
+            phase_stats[name] = {
+                "wall_s": time.perf_counter() - wall0,
+                "cpu_s": time.process_time() - cpu0,
+            }
+
         tables = None
-        if self.recorder is not None:
-            tables = self.recorder.finalize(
-                self.prefix_table.prefixes(), self.ixps.prefixes()
-            )
-        return Internet(
+        if table_first_enabled():
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+            tables = self.recorder.finalize()
+            phase_stats["finalize"] = {
+                "wall_s": time.perf_counter() - wall0,
+                "cpu_s": time.process_time() - cpu0,
+            }
+
+        stats = {
+            "phases": phase_stats,
+            "total_wall_s": time.perf_counter() - total_wall0,
+            "total_cpu_s": time.process_time() - total_cpu0,
+            "peak_rss_mb": _peak_rss_mb(),
+            "counts": self.recorder.counts(),
+        }
+        _LAST_STATS = stats
+        metrics.counter("worldgen.builds").inc()
+        metrics.gauge("worldgen.peak_rss_mb").set(stats["peak_rss_mb"])
+        metrics.gauge("worldgen.total_wall_s").set(stats["total_wall_s"])
+        for name, timing in phase_stats.items():
+            metrics.gauge(f"worldgen.phase.{name}.wall_s").set(timing["wall_s"])
+
+        internet = Internet(
             seed=self.config.seed,
-            graph=self.graph,
             orgs=self.orgs,
-            fabric=self.fabric,
             ixps=self.ixps,
             rdns=self.rdns,
-            prefix_table=self.prefix_table,
-            client_prefixes=self.client_prefixes,
-            infra_prefixes=self.infra_prefixes,
+            meta=self.recorder,
             tables=tables,
+            generation_stats=stats,
         )
+        if tables is None:
+            # Escape hatch (REPRO_TABLE_FIRST=0): no compiled tables, so
+            # eagerly build the object graph — compile_world then derives
+            # its arrays by walking objects, the independent cross-check.
+            internet.materialize()
+        return internet
+
+    # ------------------------------------------------------------------
+    # scaffold primitives (what the object graph used to answer)
+
+    def _relationship(self, a: int, b: int) -> Relationship | None:
+        """Relationship of ``b`` from ``a``'s view, or None."""
+        return self._rel.get(a, {}).get(b)
+
+    def _add_edge(self, a: int, b: int, rel_of_a: Relationship) -> None:
+        self._rel[a][b] = rel_of_a
+        self._rel[b][a] = rel_of_a.inverse()
+        self.recorder.record_edge(a, b, rel_of_a)
+
+    def _new_router(self, asn: int, city: str, role: RouterRole) -> tuple[int, int]:
+        """Create a router row; returns (router_id, index_in_city)."""
+        key = (asn, city)
+        if role is RouterRole.CORE:
+            index = 0
+            self._core_cities.add(key)
+        elif role is RouterRole.BORDER:
+            index = self._border_count.get(key, 0)
+            self._border_count[key] = index + 1
+        else:
+            index = 0  # access index is never a generation input
+        router_id = self._next_router_id
+        self._next_router_id += 1
+        self.recorder.record_router(router_id, asn, city, role)
+        return router_id, index
+
+    def _pair_link_count(self, a: int, b: int) -> int:
+        pair = (a, b) if a < b else (b, a)
+        return self._pair_links.get(pair, 0)
 
     # ------------------------------------------------------------------
     # AS creation helpers
@@ -329,38 +443,41 @@ class _Builder:
         subscriber_weight: float = 0.0,
         client_prefix_lengths: tuple[int, ...] = (16,),
         infra_prefix_length: int = 18,
-    ) -> AS:
-        autonomous_system = AS(
-            asn=asn,
-            name=name,
-            role=role,
-            home_cities=cities,
-            subscriber_weight=subscriber_weight,
-        )
-        self.graph.add_as(autonomous_system)
-        self.client_prefixes[asn] = []
-        self.infra_prefixes[asn] = []
+    ) -> None:
+        if asn in self._as_name:
+            raise ValueError(f"duplicate ASN {asn}")
+        self._as_name[asn] = name
+        self._as_role[asn] = role
+        self._as_cities[asn] = cities
+        self._as_weight[asn] = subscriber_weight
+        self._rel[asn] = {}
+        if role is ASRole.STUB:
+            self._stub_asns.append(asn)
+        self.recorder.record_as(asn, name, role, cities, subscriber_weight)
         for length in client_prefix_lengths:
             prefix = self._client_pool.allocate(length, asn)
-            self.client_prefixes[asn].append(prefix)
-            self.prefix_table.insert(prefix)
+            self.recorder.record_prefix(
+                prefix.base, prefix.length, asn, PREFIX_CLIENT
+            )
         infra = self._infra_pool.allocate(infra_prefix_length, asn)
-        self.infra_prefixes[asn].append(infra)
-        self.prefix_table.insert(infra)
+        self.recorder.record_prefix(infra.base, infra.length, asn, PREFIX_INFRA)
+        self._infra_span[asn] = (
+            infra.base,
+            infra.base + (1 << (32 - infra.length)),
+        )
         self._infra_cursor[asn] = infra.base
         for city in cities:
-            router = self.fabric.new_router(asn, city, RouterRole.CORE)
-            self.fabric.add_interface(self._alloc_infra_ip(asn), router.router_id, asn)
+            router_id, _ = self._new_router(asn, city, RouterRole.CORE)
+            self.recorder.record_interface(self._alloc_infra_ip(asn), router_id, asn)
         if role is ASRole.ACCESS:
             # Last-mile aggregation (BRAS/CMTS) — the hop a traceroute shows
             # between the ISP's core and the subscriber.
             for city in cities:
                 for _ in range(1 + (self.rng.random() < 0.4)):
-                    access = self.fabric.new_router(asn, city, RouterRole.ACCESS)
-                    self.fabric.add_interface(
-                        self._alloc_infra_ip(asn), access.router_id, asn
+                    access_id, _ = self._new_router(asn, city, RouterRole.ACCESS)
+                    self.recorder.record_interface(
+                        self._alloc_infra_ip(asn), access_id, asn
                     )
-        return autonomous_system
 
     def _alloc_infra_ip(self, asn: int) -> int:
         """Allocate a loopback-style /32.
@@ -369,24 +486,20 @@ class _Builder:
         mirroring real numbering discipline, where only point-to-point
         links sit in aligned /31 pairs.
         """
-        prefix = self.infra_prefixes[asn][0]
         cursor = self._infra_cursor[asn]
         if cursor % 2 == 1:
             cursor += 1
-        end = prefix.base + (1 << (32 - prefix.length))
-        if cursor >= end:
+        if cursor >= self._infra_span[asn][1]:
             raise RuntimeError(f"infra space exhausted for AS{asn}")
         self._infra_cursor[asn] = cursor + 2
         return cursor
 
     def _alloc_ptp_pair(self, asn: int) -> tuple[int, int]:
         """Allocate a /31 (two consecutive addresses) from an AS's infra space."""
-        prefix = self.infra_prefixes[asn][0]
         cursor = self._infra_cursor[asn]
         if cursor % 2 == 1:
             cursor += 1
-        end = prefix.base + (1 << (32 - prefix.length))
-        if cursor + 2 > end:
+        if cursor + 2 > self._infra_span[asn][1]:
             raise RuntimeError(f"infra space exhausted for AS{asn}")
         self._infra_cursor[asn] = cursor + 2
         return cursor, cursor + 1
@@ -399,6 +512,7 @@ class _Builder:
         for index, city in enumerate(big_cities):
             prefix = self._ixp_pool.allocate(22, 0)
             self.ixps.add(IXP(ixp_id=index + 1, name=f"IX-{city.upper()}", city_code=city, prefix=prefix))
+            self.recorder.record_prefix(prefix.base, prefix.length, 0, PREFIX_IXP)
         self._ixp_cursor = {ixp.ixp_id: ixp.prefix.base for ixp in self.ixps}
 
     def _alloc_ixp_ip(self, ixp_id: int) -> int:
@@ -509,7 +623,7 @@ class _Builder:
             peer_pool = [
                 h
                 for h in host_asns
-                if h not in providers and self.graph.relationship(h, primary) is None
+                if h not in providers and self._relationship(h, primary) is None
             ]
             peer_count = max(0, min(len(peer_pool), direct_target - already_direct))
             chosen_hosts = self.rng.sample(peer_pool, peer_count)
@@ -533,7 +647,7 @@ class _Builder:
             # (Table 2's 18 Level3–Comcast AS links).
             for sibling in siblings[1:]:
                 for host in self.rng.sample(self._tier1_asns, self.rng.randint(1, 4)):
-                    if self.graph.relationship(host, sibling) is not None:
+                    if self._relationship(host, sibling) is not None:
                         continue
                     if self.rng.random() < 0.5 * one_hop + 0.2:
                         self._connect(host, sibling, Relationship.PEER, min_links=1, max_links=2)
@@ -543,7 +657,7 @@ class _Builder:
                 if self.rng.random() < openness:
                     self._connect(primary, content, Relationship.PEER, min_links=1, max_links=3)
             for transit in self._transit_asns:
-                if self.graph.relationship(primary, transit) is not None:
+                if self._relationship(primary, transit) is not None:
                     continue
                 if self.rng.random() < 0.35 * openness:
                     self._connect(primary, transit, Relationship.PEER)
@@ -553,10 +667,7 @@ class _Builder:
         for i, a_name in enumerate(names):
             for b_name in names[i + 1 :]:
                 a, b = self._access_primary[a_name], self._access_primary[b_name]
-                big = (
-                    self.graph.get(a).subscriber_weight > 4
-                    and self.graph.get(b).subscriber_weight > 4
-                )
+                big = self._as_weight[a] > 4 and self._as_weight[b] > 4
                 if big and self.rng.random() < 0.5:
                     self._connect(a, b, Relationship.PEER)
 
@@ -572,8 +683,16 @@ class _Builder:
         for asn in self._transit_asns:
             candidates.append(asn)
             weights.append(4.0)
+        # Stub ASNs count up from 50000, skipping any label already taken
+        # by the fixed rosters (Fastly's 54113 sits in the range). The
+        # skip only fires at scale > ~2 — below that the numbering, and
+        # therefore the world digest, is identical to a plain 50000+index.
+        next_asn = 50000
         for index in range(self.config.stub_count()):
-            asn = 50000 + index
+            while next_asn in self._as_name:
+                next_asn += 1
+            asn = next_asn
+            next_asn += 1
             name = f"Stub{index:04d}"
             cities = self._sample_cities(1)
             self._add_as(
@@ -599,14 +718,14 @@ class _Builder:
         (14–86%). Open peers (RCN, Sonic) hold many such adjacencies,
         matching their outsized Table 3 peer counts.
         """
-        stubs = [a.asn for a in self.graph.ases_by_role(ASRole.STUB)]
+        stubs = list(self._stub_asns)
         if not stubs:
             return
         for name, primary in self._access_primary.items():
             openness = _PEERING_OPENNESS.get(name, 0.4)
             peer_count = int(round(8 + 28 * openness))
             for stub in self.rng.sample(stubs, min(peer_count, len(stubs))):
-                if self.graph.relationship(primary, stub) is not None:
+                if self._relationship(primary, stub) is not None:
                     continue
                 self._connect(primary, stub, Relationship.PEER, min_links=1, max_links=1)
 
@@ -623,16 +742,16 @@ class _Builder:
         for asn in big:
             for _ in range(self.config.epoch_growth_links):
                 other = grow_rng.choice(self._content_asns + self._transit_asns)
-                if other == asn or self.graph.relationship(asn, other) is not None:
+                if other == asn or self._relationship(asn, other) is not None:
                     # Existing adjacency: add another router-level link to it.
-                    if other != asn and self.graph.relationship(asn, other) is Relationship.PEER:
+                    if other != asn and self._relationship(asn, other) is Relationship.PEER:
                         self._add_links(asn, other, 1)
                     continue
                 self._connect(asn, other, Relationship.PEER)
             # Each big access org also picks up a few new small peers.
-            stubs = [a.asn for a in self.graph.ases_by_role(ASRole.STUB)]
+            stubs = list(self._stub_asns)
             for stub in grow_rng.sample(stubs, min(3, len(stubs))):
-                if self.graph.relationship(asn, stub) is None:
+                if self._relationship(asn, stub) is None:
                     self._connect(asn, stub, Relationship.PEER, min_links=1, max_links=1)
 
         provider_weights: list[float] = []
@@ -644,8 +763,12 @@ class _Builder:
             provider_pool.append(asn)
             provider_weights.append(11.0)
         new_stubs = int(round(self.config.stub_count() * self.config.epoch_stub_growth))
+        next_asn = 58000  # same skip rule as _make_stubs (collides at scale > 4)
         for index in range(new_stubs):
-            asn = 58000 + index
+            while next_asn in self._as_name:
+                next_asn += 1
+            asn = next_asn
+            next_asn += 1
             self._add_as(
                 asn, f"Stub2017-{index:04d}", ASRole.STUB, self._sample_cities(1),
                 client_prefix_lengths=(20,), infra_prefix_length=22,
@@ -668,7 +791,7 @@ class _Builder:
         max_links: int | None = None,
     ) -> None:
         """Create the AS edge and its router-level realization."""
-        self.graph.add_edge(a, b, rel_of_a)
+        self._add_edge(a, b, rel_of_a)
         hotspot = self._hotspot_for(a, b)
         if hotspot is not None:
             for city, group_size in hotspot:
@@ -705,15 +828,15 @@ class _Builder:
                 continue
             pairs = [(a, b) for a in org_a.asns for b in org_b.asns]
             existing = sum(
-                1 for a, b in pairs if self.fabric.links_between(a, b)
+                1 for a, b in pairs if self._pair_link_count(a, b)
             )
             self.rng.shuffle(pairs)
             for a, b in pairs:
                 if existing >= target:
                     break
-                if self.fabric.links_between(a, b):
+                if self._pair_link_count(a, b):
                     continue
-                if self.graph.relationship(a, b) is None:
+                if self._relationship(a, b) is None:
                     self._connect(a, b, Relationship.PEER, min_links=1, max_links=2)
                 else:
                     self._add_links(a, b, 1)
@@ -751,18 +874,18 @@ class _Builder:
         return None
 
     def _size_class(self, asn: int) -> int:
-        role = self.graph.get(asn).role
+        role = self._as_role[asn]
         if role is ASRole.TIER1:
             return 3
         if role in (ASRole.TRANSIT, ASRole.CONTENT):
             return 2
         if role is ASRole.ACCESS:
-            return 2 if self.graph.get(asn).subscriber_weight > 4 else 1
+            return 2 if self._as_weight[asn] > 4 else 1
         return 0
 
     def _link_cities(self, a: int, b: int, count: int) -> list[str]:
-        cities_a = set(self.graph.get(a).home_cities)
-        cities_b = set(self.graph.get(b).home_cities)
+        cities_a = set(self._as_cities[a])
+        cities_b = set(self._as_cities[b])
         shared = sorted(cities_a & cities_b)
         if shared:
             self.rng.shuffle(shared)
@@ -776,25 +899,30 @@ class _Builder:
         self.rng.shuffle(union)
         return union[:count] if union else ["nyc"]
 
-    def _border_router(self, asn: int, city: str) -> Router:
-        """Create a border router; ensures the AS has a core presence there."""
-        if self.fabric.core_router_of(asn, city) is None:
-            core = self.fabric.new_router(asn, city, RouterRole.CORE)
-            self.fabric.add_interface(self._alloc_infra_ip(asn), core.router_id, asn)
-        router = self.fabric.new_router(asn, city, RouterRole.BORDER)
-        self.fabric.add_interface(self._alloc_infra_ip(asn), router.router_id, asn)
-        return router
+    def _border_router(self, asn: int, city: str) -> tuple[int, int]:
+        """Create a border router; ensures the AS has a core presence there.
+
+        Returns (router_id, index_in_city) — the index feeds DNS naming.
+        """
+        if (asn, city) not in self._core_cities:
+            core_id, _ = self._new_router(asn, city, RouterRole.CORE)
+            self.recorder.record_interface(self._alloc_infra_ip(asn), core_id, asn)
+        router_id, index = self._new_router(asn, city, RouterRole.BORDER)
+        self.recorder.record_interface(self._alloc_infra_ip(asn), router_id, asn)
+        return router_id, index
 
     def _make_interconnect_group(self, a: int, b: int, city: str, group_size: int) -> None:
         """One border-router pair in ``city`` joined by ``group_size`` parallel links."""
         router_a = self._border_router(a, city)
         router_b = self._border_router(b, city)
         use_ixp = (
-            self.graph.relationship(a, b) is Relationship.PEER
+            self._relationship(a, b) is Relationship.PEER
             and any(ixp.city_code == city for ixp in self.ixps)
             and self.rng.random() < self.config.ixp_peering_prob
         )
-        group_id = self.fabric.new_parallel_group()
+        group_id = self._next_group_id
+        self._next_group_id += 1
+        pair = (a, b) if a < b else (b, a)
         for _ in range(group_size):
             if use_ixp:
                 ixp = next(x for x in self.ixps if x.city_code == city)
@@ -808,13 +936,16 @@ class _Builder:
                 a_ip, b_ip = (low, high) if owner == a else (high, low)
                 numbered_from = owner
                 kind = InterconnectKind.PRIVATE
-            self.fabric.add_interface(a_ip, router_a.router_id, numbered_from)
-            self.fabric.add_interface(b_ip, router_b.router_id, numbered_from)
-            link = self.fabric.add_interconnect(
+            self.recorder.record_interface(a_ip, router_a[0], numbered_from)
+            self.recorder.record_interface(b_ip, router_b[0], numbered_from)
+            link_id = self._next_link_id
+            self._next_link_id += 1
+            self.recorder.record_link(
+                link_id,
                 a_asn=a,
                 b_asn=b,
-                a_router_id=router_a.router_id,
-                b_router_id=router_b.router_id,
+                a_router_id=router_a[0],
+                b_router_id=router_b[0],
                 a_ip=a_ip,
                 b_ip=b_ip,
                 city_code=city,
@@ -822,36 +953,45 @@ class _Builder:
                 numbered_from_asn=numbered_from,
                 group_id=group_id,
             )
-            self._name_border_interfaces(link, router_a, router_b)
+            self._pair_links[pair] = self._pair_links.get(pair, 0) + 1
+            self._name_border_interfaces(a, b, a_ip, b_ip, city, router_a, router_b)
 
-    def _name_border_interfaces(self, link: Interconnect, router_a: Router, router_b: Router) -> None:
+    def _name_border_interfaces(
+        self,
+        a: int,
+        b: int,
+        a_ip: int,
+        b_ip: int,
+        city_code: str,
+        router_a: tuple[int, int],
+        router_b: tuple[int, int],
+    ) -> None:
         """Attach PTR records in the Level3 style to border interfaces.
 
         Only networks that plausibly run a reverse zone (tier-1/transit, and
         big access orgs) name their side; a fraction of records is simply
         missing, as in the wild.
         """
-        city = next(c for c in CITIES if c.code == link.city_code)
-        for asn, router, ip in (
-            (link.a_asn, router_a, link.a_ip),
-            (link.b_asn, router_b, link.b_ip),
+        city = next(c for c in CITIES if c.code == city_code)
+        for asn, (router_id, index_in_city), ip, other in (
+            (a, router_a, a_ip, b),
+            (b, router_b, b_ip, a),
         ):
-            owner = self.graph.get(asn)
-            if owner.role not in (ASRole.TIER1, ASRole.TRANSIT) and owner.subscriber_weight < 4:
+            role = self._as_role[asn]
+            if role not in (ASRole.TIER1, ASRole.TRANSIT) and self._as_weight[asn] < 4:
                 continue
             if self.rng.random() < 0.15:  # missing PTR record
                 continue
-            neighbor = self.graph.get(link.other_asn(asn))
             # Role is a property of the router, so keep it deterministic per
             # router: DNS-based parallel-link grouping depends on one router
             # presenting one consistent name stem.
-            role = "edge" if router.router_id % 3 else "ear"
+            dns_role = "edge" if router_id % 3 else "ear"
             name = border_interface_name(
-                owner_as_name=owner.name,
-                neighbor_as_name=neighbor.name,
-                role=role,
-                router_index=router.index_in_city + 1,
+                owner_as_name=self._as_name[asn],
+                neighbor_as_name=self._as_name[other],
+                role=dns_role,
+                router_index=index_in_city + 1,
                 city_name=city.name,
-                city_index=(router.index_in_city % 4) + 1,
+                city_index=(index_in_city % 4) + 1,
             )
             self.rdns.set_name(ip, name)

@@ -9,11 +9,18 @@ deliberately keeps *two* views of address ownership:
   is wrong for border interfaces numbered from the neighbour's space;
 * :meth:`true_owner_asn` — ground truth from the router fabric, reserved
   for validation and never passed to inference code.
+
+Since PR 8 the object graph is a *facade*: generation is array-native
+(:mod:`repro.topology.tables`), and :attr:`graph` / :attr:`fabric` /
+:attr:`prefix_table` / the prefix dicts materialize lazily from the
+recorded event streams on first access. Snapshot persistence,
+``compile_world``, and ``world_digest`` never touch them — peak memory
+for the generate→persist path scales with the numpy tables, not the
+python heap. Materialized objects replay in recorded construction
+order, so they are bit-identical to what the old eager build produced.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 from repro.topology.addressing import Prefix, PrefixTable
 from repro.topology.asgraph import AS, ASGraph, ASRole, Relationship
@@ -23,26 +30,116 @@ from repro.topology.ixp import IXPRegistry
 from repro.topology.routers import Interconnect, RouterFabric
 
 
-@dataclass
 class Internet:
-    """All topology state for one generated Internet instance."""
+    """All topology state for one generated Internet instance.
 
-    seed: int
-    graph: ASGraph
-    orgs: "OrgMap"
-    fabric: RouterFabric
-    ixps: IXPRegistry
-    rdns: ReverseDNS
-    prefix_table: PrefixTable
+    Constructed either from a :class:`~repro.topology.tables.WorldTableRecorder`
+    (``meta``, the array-native path — object views materialize lazily)
+    or from pre-built objects (``graph``/``fabric``/... — tests and the
+    ``REPRO_TABLE_FIRST=0`` escape hatch, where the generator eagerly
+    materializes before returning).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        orgs: "OrgMap",
+        ixps: IXPRegistry,
+        rdns: ReverseDNS,
+        meta=None,
+        tables: dict | None = None,
+        graph: ASGraph | None = None,
+        fabric: RouterFabric | None = None,
+        prefix_table: PrefixTable | None = None,
+        client_prefixes: dict[int, list[Prefix]] | None = None,
+        infra_prefixes: dict[int, list[Prefix]] | None = None,
+        generation_stats: dict | None = None,
+    ) -> None:
+        self.seed = seed
+        self.orgs = orgs
+        self.ixps = ixps
+        self.rdns = rdns
+        #: Table-first compiled arrays emitted by the generator's recorder
+        #: (None when REPRO_TABLE_FIRST=0 asks for the object-walk path).
+        #: :func:`repro.net.compiled.compile_world` wraps these directly.
+        self.tables = tables
+        #: Per-phase wall/CPU and peak-RSS of the generation run that
+        #: built this world (empty for hand-assembled instances).
+        self.generation_stats = generation_stats or {}
+        self._meta = meta
+        self._graph = graph
+        self._fabric = fabric
+        self._prefix_table = prefix_table
+        self._client_prefixes = client_prefixes
+        self._infra_prefixes = infra_prefixes
+        if meta is None and (
+            graph is None or fabric is None or prefix_table is None
+        ):
+            raise ValueError(
+                "Internet needs either recorder meta or pre-built objects"
+            )
+
+    def __repr__(self) -> str:  # keep logs small; the tables aren't repr-able
+        return f"Internet(seed={self.seed}, ases={self.summary()['ases']})"
+
+    # ------------------------------------------------------------------
+    # lazy object-graph facade
+
+    @property
+    def graph(self) -> ASGraph:
+        if self._graph is None:
+            self._graph = self._meta.materialize_graph()
+        return self._graph
+
+    @property
+    def fabric(self) -> RouterFabric:
+        if self._fabric is None:
+            self._fabric = self._meta.materialize_fabric()
+        return self._fabric
+
+    @property
+    def prefix_table(self) -> PrefixTable:
+        if self._prefix_table is None:
+            self._materialize_addressing()
+        return self._prefix_table
+
     #: Prefixes where an AS's end hosts (clients, servers) live.
-    client_prefixes: dict[int, list[Prefix]] = field(default_factory=dict)
+    @property
+    def client_prefixes(self) -> dict[int, list[Prefix]]:
+        if self._client_prefixes is None:
+            self._materialize_addressing()
+        return self._client_prefixes
+
     #: Prefixes used for router interfaces and border numbering.
-    infra_prefixes: dict[int, list[Prefix]] = field(default_factory=dict)
-    #: Table-first compiled arrays emitted by the generator's recorder
-    #: (None when REPRO_TABLE_FIRST=0 disabled recording at generation
-    #: time). :func:`repro.net.compiled.compile_world` wraps these
-    #: directly instead of re-deriving them from the object graph.
-    tables: dict | None = field(default=None, repr=False, compare=False)
+    @property
+    def infra_prefixes(self) -> dict[int, list[Prefix]]:
+        if self._infra_prefixes is None:
+            self._materialize_addressing()
+        return self._infra_prefixes
+
+    def _materialize_addressing(self) -> None:
+        table, client, infra = self._meta.materialize_addressing()
+        if self._prefix_table is None:
+            self._prefix_table = table
+        if self._client_prefixes is None:
+            self._client_prefixes = client
+        if self._infra_prefixes is None:
+            self._infra_prefixes = infra
+
+    def materialized(self) -> bool:
+        """Whether every object view has been built (memory tells)."""
+        return None not in (
+            self._graph, self._fabric, self._prefix_table,
+            self._client_prefixes, self._infra_prefixes,
+        )
+
+    def materialize(self) -> "Internet":
+        """Force-build every object view (the eager pre-PR-8 shape)."""
+        self.graph
+        self.fabric
+        self.prefix_table
+        return self
 
     # ------------------------------------------------------------------
     # convenience lookups
@@ -102,16 +199,26 @@ class Internet:
         return self.graph.relationship(from_asn, link.other_asn(from_asn))
 
     def summary(self) -> dict[str, int]:
-        """Headline sizes, useful in logs and docs."""
-        return {
-            "ases": len(self.graph),
-            "as_edges": self.graph.edge_count(),
-            "routers": self.fabric.router_count(),
-            "interconnects": self.fabric.interconnect_count(),
-            "prefixes": len(self.prefix_table),
-            "ixps": len(self.ixps),
-            "orgs": len(self.orgs),
-        }
+        """Headline sizes, useful in logs and docs.
+
+        Computed from the recorded tables when available, so taking a
+        world digest never forces the object facade to materialize. The
+        object-graph counts are identical by construction (and the
+        ``compiled.world_agreement`` contract keeps them honest).
+        """
+        if self._meta is not None:
+            base = self._meta.counts()
+        else:
+            base = {
+                "ases": len(self._graph),
+                "as_edges": self._graph.edge_count(),
+                "routers": self._fabric.router_count(),
+                "interconnects": self._fabric.interconnect_count(),
+                "prefixes": len(self._prefix_table),
+            }
+        base["ixps"] = len(self.ixps)
+        base["orgs"] = len(self.orgs)
+        return base
 
 
 # Imported late to avoid a cycle in type checking tools that resolve

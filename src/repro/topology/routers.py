@@ -107,11 +107,7 @@ class Interconnect:
 class RouterFabric:
     """Container indexing routers, interfaces, and interconnects."""
 
-    def __init__(self, recorder=None) -> None:
-        #: Optional WorldTableRecorder fed as the fabric is built, so the
-        #: compiled SoA tables are emitted with generation instead of
-        #: being derived from the object graph afterwards.
-        self._recorder = recorder
+    def __init__(self) -> None:
         self._routers: dict[int, Router] = {}
         self._interfaces: dict[int, Interface] = {}  # keyed by IP
         self._router_interfaces: dict[int, list[int]] = {}
@@ -148,8 +144,6 @@ class RouterFabric:
             self._core_router[key] = router.router_id
         elif role is RouterRole.ACCESS:
             self._access_routers.setdefault(key, []).append(router.router_id)
-        if self._recorder is not None:
-            self._recorder.record_router(router.router_id, asn)
         return router
 
     def add_interface(self, ip: int, router_id: int, numbered_from_asn: int) -> Interface:
@@ -160,8 +154,6 @@ class RouterFabric:
         iface = Interface(ip=ip, router_id=router_id, numbered_from_asn=numbered_from_asn)
         self._interfaces[ip] = iface
         self._router_interfaces[router_id].append(ip)
-        if self._recorder is not None:
-            self._recorder.record_interface(ip, router_id)
         return iface
 
     def new_parallel_group(self) -> int:
@@ -200,8 +192,6 @@ class RouterFabric:
         self._next_link_id += 1
         self._interconnects[link.link_id] = link
         self._links_by_as_pair.setdefault(link.as_pair(), []).append(link.link_id)
-        if self._recorder is not None:
-            self._recorder.record_link(link)
         return link
 
     # ------------------------------------------------------------------

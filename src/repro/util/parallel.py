@@ -101,7 +101,15 @@ _last_stats: dict[str, object] = {
     "cpu_clamped": False,
     "start_method": None,
     "worker_stats": {},
+    "worker_peak_rss_mb": None,
 }
+
+
+def _peak_rss_mb() -> float:
+    """This process's high-water RSS in MB (ru_maxrss is KB on Linux)."""
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 def worker_context() -> object:
@@ -246,7 +254,7 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 def _observed_unit(
     func: Callable[[T], R], observe: bool, item: T
-) -> tuple[R, dict | None, list | None, float, int, dict]:
+) -> tuple[R, dict | None, list | None, float, int, dict, float]:
     """Pool worker wrapper: run one unit, capture its obs by-products.
 
     The worker's registry and span forest are reset per unit, so the
@@ -254,7 +262,10 @@ def _observed_unit(
     merges them in input order, which keeps the merged span tree's shape
     independent of scheduling. Worker-stats totals are cumulative per
     process (keyed by pid on the way back), so the parent keeps the last
-    value per pid and sums across pids.
+    value per pid and sums across pids. The worker's high-water RSS rides
+    along the same way — after the attach-path refactor a worker holding
+    a memory-mapped world should idle near the interpreter floor, and
+    ``pool_stats()["worker_peak_rss_mb"]`` is where that claim is checked.
     """
     if observe:
         obs_metrics.reset()
@@ -264,7 +275,10 @@ def _observed_unit(
     wall = time.perf_counter() - start
     snapshot = obs_metrics.snapshot() if observe else None
     subtree = obs_trace.tree() if observe else None
-    return result, snapshot, subtree, wall, os.getpid(), _provider_totals()
+    return (
+        result, snapshot, subtree, wall, os.getpid(), _provider_totals(),
+        _peak_rss_mb(),
+    )
 
 
 def _cpu_limit() -> int | None:
@@ -296,6 +310,7 @@ def _record_serial(
             "cpu_clamped": clamped,
             "start_method": None,
             "worker_stats": {},
+            "worker_peak_rss_mb": None,
         }
     )
 
@@ -326,6 +341,7 @@ def _run_serial(
         _last_stats["worker_stats"] = _fold_worker_stats(
             {os.getpid(): _provider_totals()}
         )
+        _last_stats["worker_peak_rss_mb"] = round(_peak_rss_mb(), 1)
         return results
     finally:
         _INFLIGHT.set(0)
@@ -404,6 +420,7 @@ def parallel_map(
             "cpu_clamped": clamped,
             "start_method": pool_start_method(),
             "worker_stats": {},
+            "worker_peak_rss_mb": None,
         }
     )
     _log.debug(
@@ -429,15 +446,22 @@ def parallel_map(
     # Provider totals are cumulative per worker process; keeping the last
     # sample per pid and summing across pids gives pool-wide counts.
     stats_by_pid: dict[int, dict[str, dict[str, int]]] = {}
-    for result, snapshot, subtree, wall, pid, totals in outs:
+    rss_by_pid: dict[int, float] = {}
+    for result, snapshot, subtree, wall, pid, totals, rss_mb in outs:
         results.append(result)
         if observe:
             obs_metrics.merge_snapshot(snapshot)
             obs_trace.attach_subtrees(subtree)
         stats_by_pid[pid] = totals
+        # ru_maxrss is a high-water mark, so the last sample per pid is
+        # also the max; across pids the pool-wide peak is the max of maxes.
+        rss_by_pid[pid] = rss_mb
         unit_walls.append(wall)
         _UNIT_WALL.observe(wall)
     _last_stats["worker_stats"] = _fold_worker_stats(stats_by_pid)
+    _last_stats["worker_peak_rss_mb"] = (
+        round(max(rss_by_pid.values()), 1) if rss_by_pid else None
+    )
     # Chunk skew: with map()'s deterministic round-robin chunking, the
     # per-chunk wall totals show how unevenly the units were sized —
     # max/mean of 1.0 is perfectly balanced.
